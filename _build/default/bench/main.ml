@@ -1,0 +1,234 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus Bechamel microbenchmarks of the hot paths.
+
+     dune exec bench/main.exe                 # everything, modest replication
+     dune exec bench/main.exe -- fig1 --reps 100 --days 60
+     dune exec bench/main.exe -- micro
+
+   The defaults trade Monte Carlo depth for wall time; raise --reps/--days
+   to approach the paper's 1000-replication protocol. *)
+
+module Pool = Cocheck_parallel.Pool
+module Strategy = Cocheck_core.Strategy
+module Platform = Cocheck_model.Platform
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module E = Cocheck_experiments
+
+let reps = ref 10
+let days = ref 30.0
+let fig3_reps = ref 3
+let fig3_days = ref 20.0
+let fig3_iters = ref 8
+let seed = ref 42
+let modes = ref []
+
+let usage = "bench [table1|fig1|fig2|fig3|ablations|micro|all]* [options]"
+
+let spec =
+  [
+    ("--reps", Arg.Set_int reps, "Monte Carlo replications for fig1/fig2 (default 10)");
+    ("--days", Arg.Set_float days, "segment length in days for fig1/fig2 (default 30)");
+    ("--fig3-reps", Arg.Set_int fig3_reps, "replications per fig3 probe (default 3)");
+    ("--fig3-days", Arg.Set_float fig3_days, "segment days per fig3 probe (default 20)");
+    ("--fig3-iters", Arg.Set_int fig3_iters, "fig3 bisection iterations (default 8)");
+    ("--seed", Arg.Set_int seed, "root seed (default 42)");
+  ]
+
+let section title = Printf.printf "\n============ %s ============\n%!" title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s took %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  section "Table 1 — LANL APEX workload";
+  print_string (E.Table1.render ())
+
+let run_fig1 pool =
+  section "Figure 1 — waste ratio vs system bandwidth (Cielo, node MTBF 2y)";
+  let fig =
+    timed "fig1" (fun () -> E.Fig1.run ~pool ~reps:!reps ~seed:!seed ~days:!days ())
+  in
+  print_string (E.Figures.render fig)
+
+let run_fig2 pool =
+  section "Figure 2 — waste ratio vs node MTBF (Cielo, 40 GB/s)";
+  let fig =
+    timed "fig2" (fun () -> E.Fig2.run ~pool ~reps:!reps ~seed:!seed ~days:!days ())
+  in
+  print_string (E.Figures.render fig)
+
+let run_fig3 pool =
+  section "Figure 3 — min bandwidth for 80% efficiency (prospective system)";
+  let fig =
+    timed "fig3" (fun () ->
+        E.Fig3.run ~pool ~reps:!fig3_reps ~seed:!seed ~days:!fig3_days
+          ~iters:!fig3_iters ())
+  in
+  print_string (E.Figures.render fig)
+
+let run_ablations pool =
+  section "Ablation: failure inter-arrival law";
+  let a =
+    timed "ablation-failures" (fun () ->
+        E.Ablations.failure_distribution ~pool ~reps:(max 2 (!reps / 2)) ~seed:!seed
+          ~days:(Float.min !days 20.0) ())
+  in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table);
+  section "Ablation: adversarial interference model";
+  let a =
+    timed "ablation-interference" (fun () ->
+        E.Ablations.interference_model ~pool ~reps:(max 2 (!reps / 2)) ~seed:!seed
+          ~days:(Float.min !days 20.0) ())
+  in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table);
+  section "Ablation: burst-buffer capacity (Section 8 extension)";
+  let a =
+    timed "ablation-bb" (fun () ->
+        E.Ablations.burst_buffer ~pool ~reps:(max 2 (!reps / 2)) ~seed:!seed
+          ~days:(Float.min !days 20.0) ())
+  in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table);
+  section "Ablation: period scaling (Arunagiri et al., ref. [12])";
+  let a = timed "ablation-period" (fun () -> E.Ablations.period_scaling ()) in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table);
+  section "Ablation: Daly vs Theorem-1 optimal periods";
+  let a =
+    timed "ablation-optimal" (fun () ->
+        E.Ablations.optimal_periods ~pool ~reps:(max 2 (!reps / 2)) ~seed:!seed
+          ~days:(Float.min !days 20.0) ())
+  in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table);
+  section "Ablation: two-level (SCR-style) checkpointing";
+  let a =
+    timed "ablation-two-level" (fun () ->
+        E.Ablations.two_level ~pool ~reps:(max 2 (!reps / 2)) ~seed:!seed
+          ~days:(Float.min !days 20.0) ())
+  in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table);
+  section "Ablation: fixed-period sensitivity";
+  let a =
+    timed "ablation-fixed-period" (fun () ->
+        E.Ablations.fixed_period ~pool ~reps:(max 2 (!reps / 2)) ~seed:!seed
+          ~days:(Float.min !days 20.0) ())
+  in
+  print_string (Cocheck_util.Table.render a.E.Ablations.table)
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let pqueue_churn =
+    Test.make ~name:"pqueue-add-pop-256"
+      (Staged.stage (fun () ->
+           let q = Cocheck_util.Pqueue.create () in
+           for i = 0 to 255 do
+             ignore (Cocheck_util.Pqueue.add q ~priority:(float_of_int (i * 37 mod 97)) i)
+           done;
+           while Cocheck_util.Pqueue.pop q <> None do
+             ()
+           done))
+  in
+  let candidates =
+    List.init 32 (fun i ->
+        if i mod 2 = 0 then
+          Cocheck_core.Candidate.Io
+            { key = i; nodes = 512 + i; service_s = 100.0 +. float_of_int i; waited_s = 50.0 }
+        else
+          Cocheck_core.Candidate.Ckpt
+            {
+              key = i;
+              nodes = 2048;
+              ckpt_s = 300.0;
+              exposed_s = 1000.0 +. float_of_int i;
+              recovery_s = 300.0;
+            })
+  in
+  let least_waste_select =
+    Test.make ~name:"least-waste-select-32"
+      (Staged.stage (fun () ->
+           ignore
+             (Cocheck_core.Least_waste.select ~node_mtbf_s:(2.0 *. 365.0 *. 86400.0)
+                candidates)))
+  in
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 () in
+  let counts =
+    Cocheck_core.Waste.steady_state_counts ~classes:Cocheck_model.Apex.lanl_workload
+      ~platform
+  in
+  let lower_bound =
+    Test.make ~name:"lower-bound-solve"
+      (Staged.stage (fun () ->
+           ignore (Cocheck_core.Lower_bound.solve_model ~classes:counts ~platform ())))
+  in
+  let daly_day =
+    (* One simulated day of the full Cielo workload under Least-Waste:
+       the end-to-end hot path. *)
+    Test.make ~name:"simulate-1day-least-waste"
+      (Staged.stage (fun () ->
+           let cfg =
+             Config.make ~platform ~strategy:Strategy.Least_waste ~seed:7 ~days:1.0 ()
+           in
+           ignore (Simulator.run cfg)))
+  in
+  let jobgen =
+    Test.make ~name:"jobgen-62days"
+      (Staged.stage (fun () ->
+           let cfg =
+             Config.make ~platform ~strategy:Strategy.Baseline ~seed:11 ~days:60.0 ()
+           in
+           ignore (Simulator.generate_specs cfg)))
+  in
+  [ pqueue_churn; least_waste_select; lower_bound; daly_day; jobgen ]
+
+let run_micro () =
+  section "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let tests = Test.make_grouped ~name:"cocheck" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let est =
+        match Analyze.OLS.estimates r with
+        | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+        | _ -> "(no estimate)"
+      in
+      let r2 =
+        match Analyze.OLS.r_square r with
+        | Some v -> Printf.sprintf "r²=%.4f" v
+        | None -> ""
+      in
+      Printf.printf "  %-40s %s  %s\n" name est r2)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse spec (fun m -> modes := m :: !modes) usage;
+  let modes = if !modes = [] then [ "all" ] else List.rev !modes in
+  let has m = List.mem m modes || List.mem "all" modes in
+  Pool.with_pool (fun pool ->
+      if has "table1" then run_table1 ();
+      if has "fig1" then run_fig1 pool;
+      if has "fig2" then run_fig2 pool;
+      if has "fig3" then run_fig3 pool;
+      if has "ablations" then run_ablations pool;
+      if has "micro" then run_micro ());
+  Printf.printf "\nbench: done\n"

@@ -1,0 +1,434 @@
+(* simctl — command-line front end for the cooperative-checkpointing
+   simulator and the paper's experiments.
+
+     simctl run --strategy least-waste --bandwidth 40 --mtbf-years 2
+     simctl fig1 --reps 100 --out fig1.csv
+     simctl fig2 --reps 100
+     simctl fig3 --reps 5
+     simctl table1
+     simctl bound --bandwidth 40 --mtbf-years 2 *)
+
+open Cmdliner
+module Platform = Cocheck_model.Platform
+module Apex = Cocheck_model.Apex
+module Strategy = Cocheck_core.Strategy
+module Waste = Cocheck_core.Waste
+module Lower_bound = Cocheck_core.Lower_bound
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module Metrics = Cocheck_sim.Metrics
+module Pool = Cocheck_parallel.Pool
+module E = Cocheck_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bandwidth_t =
+  Arg.(value & opt float 160.0 & info [ "bandwidth"; "b" ] ~docv:"GB_S"
+         ~doc:"Aggregate filesystem bandwidth in GB/s.")
+
+let mtbf_years_t =
+  Arg.(value & opt float 2.0 & info [ "mtbf-years"; "m" ] ~docv:"YEARS"
+         ~doc:"Individual node MTBF in years.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let days_t =
+  Arg.(value & opt float 60.0 & info [ "days" ] ~docv:"DAYS"
+         ~doc:"Measurement segment length in days (one excluded day is added on each side).")
+
+let reps_t default =
+  Arg.(value & opt int default & info [ "reps" ] ~docv:"N"
+         ~doc:"Monte Carlo replications.")
+
+let out_t =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Also write results as CSV to $(docv).")
+
+let prospective_t =
+  Arg.(value & flag & info [ "prospective" ]
+         ~doc:"Use the prospective 50 000-node, 7 PB system instead of Cielo.")
+
+let domains_t =
+  Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for Monte Carlo (default: cores - 1).")
+
+let platform_of ~prospective ~bandwidth ~mtbf_years =
+  if prospective then Platform.prospective ~bandwidth_gbs:bandwidth ~node_mtbf_years:mtbf_years ()
+  else Platform.cielo ~bandwidth_gbs:bandwidth ~node_mtbf_years:mtbf_years ()
+
+let strategy_conv =
+  let parse s = match Strategy.of_string s with Ok v -> Ok v | Error e -> Error (`Msg e) in
+  Arg.conv (parse, Strategy.pp)
+
+let failure_dist_conv =
+  let parse s =
+    let module F = Cocheck_sim.Failure_trace in
+    match String.lowercase_ascii (String.trim s) with
+    | "exp" | "exponential" -> Ok F.Exponential
+    | s when String.length s > 8 && String.sub s 0 8 = "weibull:" -> (
+        match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
+        | Some shape when shape > 0.0 -> Ok (F.Weibull { shape })
+        | _ -> Error (`Msg "weibull shape must be a positive number"))
+    | s when String.length s > 10 && String.sub s 0 10 = "lognormal:" -> (
+        match float_of_string_opt (String.sub s 10 (String.length s - 10)) with
+        | Some sigma when sigma >= 0.0 -> Ok (F.Lognormal { sigma })
+        | _ -> Error (`Msg "lognormal sigma must be non-negative"))
+    | other -> Error (`Msg (Printf.sprintf "unknown failure distribution %S" other))
+  in
+  let pp ppf d =
+    Format.pp_print_string ppf (Cocheck_sim.Failure_trace.distribution_name d)
+  in
+  Arg.conv (parse, pp)
+
+let failure_dist_t =
+  Arg.(value
+       & opt failure_dist_conv Cocheck_sim.Failure_trace.Exponential
+       & info [ "failure-dist" ] ~docv:"DIST"
+           ~doc:"Failure inter-arrival law: exponential (default), weibull:<shape>, \
+                 lognormal:<sigma>. Mean-matched to the node MTBF.")
+
+let alpha_t =
+  Arg.(value & opt float 0.0 & info [ "alpha" ] ~docv:"ALPHA"
+         ~doc:"Adversarial interference factor: aggregate bandwidth degrades to \
+               beta/(1+alpha(k-1)) under k concurrent transfers. 0 = the paper's \
+               linear model.")
+
+let bb_t =
+  let pair_conv = Arg.(pair ~sep:',' float float) in
+  Arg.(value
+       & opt (some pair_conv) None
+       & info [ "burst-buffer" ] ~docv:"CAP_GB,BW_GBS"
+           ~doc:"Add a burst buffer: capacity (GB) and write bandwidth (GB/s), e.g. \
+                 250000,1000.")
+
+let bb_spec_of = function
+  | None -> None
+  | Some (capacity_gb, bandwidth_gbs) ->
+      Some { Cocheck_sim.Burst_buffer.capacity_gb; bandwidth_gbs }
+
+let multilevel_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ p; c; r; f ] -> (
+        match
+          (float_of_string_opt p, float_of_string_opt c, float_of_string_opt r,
+           float_of_string_opt f)
+        with
+        | Some local_period_s, Some local_cost_s, Some local_recovery_s, Some soft_fraction
+          ->
+            Ok
+              {
+                Cocheck_sim.Config.local_period_s;
+                local_cost_s;
+                local_recovery_s;
+                soft_fraction;
+              }
+        | _ -> Error (`Msg "expected four numbers: period,cost,recovery,soft_fraction"))
+    | _ -> Error (`Msg "expected PERIOD,COST,RECOVERY,SOFT (seconds,seconds,seconds,[0-1])")
+  in
+  let pp ppf (m : Cocheck_sim.Config.multilevel) =
+    Format.fprintf ppf "%g,%g,%g,%g" m.local_period_s m.local_cost_s m.local_recovery_s
+      m.soft_fraction
+  in
+  Arg.conv (parse, pp)
+
+let multilevel_t =
+  Arg.(value
+       & opt (some multilevel_conv) None
+       & info [ "multilevel" ] ~docv:"P,C,R,SOFT"
+           ~doc:"Two-level checkpointing: local period (s), local snapshot cost (s),                  local recovery (s), soft-failure fraction. E.g. 600,5,10,0.6.")
+
+let write_out path contents =
+  match path with
+  | None -> ()
+  | Some p ->
+      let oc = open_out p in
+      output_string oc contents;
+      close_out oc;
+      Format.printf "wrote %s@." p
+
+let finish_figure out fig =
+  print_string (E.Figures.render fig);
+  write_out out (E.Figures.to_csv fig)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let strategy_t =
+    Arg.(value & opt strategy_conv Strategy.Least_waste
+         & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+             ~doc:"One of oblivious-fixed, oblivious-daly, ordered-fixed, ordered-daly, \
+                   ordered-nb-fixed, ordered-nb-daly, least-waste, baseline.")
+  in
+  let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
+      multilevel =
+    let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+    Format.printf "%a@." Platform.pp platform;
+    let cfg s =
+      Config.make ~platform ~strategy:s ~seed ~days ~failure_dist
+        ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
+    in
+    let specs = Simulator.generate_specs (cfg Strategy.Baseline) in
+    let baseline = Simulator.run ~specs (cfg Strategy.Baseline) in
+    let r = Simulator.run ~specs (cfg strategy) in
+    Format.printf "strategy: %s@." (Strategy.name strategy);
+    Format.printf "waste ratio: %.4f (efficiency %.4f)@."
+      (Simulator.waste_ratio ~strategy:r ~baseline)
+      (Simulator.efficiency ~strategy:r ~baseline);
+    Format.printf
+      "jobs: %d generated, %d started, %d completed; failures hitting jobs: %d; restarts: %d@."
+      r.specs_total r.jobs_started r.jobs_completed r.failures_hitting_jobs r.restarts;
+    Format.printf "checkpoints: %d committed, %d aborted@."
+      r.ckpts_committed r.ckpts_aborted;
+    if r.bb_absorbed > 0 || r.bb_spilled > 0 then
+      Format.printf "burst buffer: %d commits absorbed, %d spilled@." r.bb_absorbed
+        r.bb_spilled;
+    Format.printf "node-seconds in segment: progress %.4e, waste %.4e, enrolled %.4e@."
+      r.progress_ns r.waste_ns r.enrolled_ns;
+    Format.printf "utilization %.3f, I/O device busy fraction %.3f@." r.utilization
+      r.io_busy_fraction;
+    List.iter
+      (fun (k, v) ->
+        if v > 0.0 then Format.printf "  %-12s %.4e@." (Metrics.kind_name k) v)
+      r.by_kind;
+    List.iter
+      (fun (name, mean) ->
+        if Float.is_finite mean then
+          Format.printf "mean commit-to-commit interval %s: %.0f s@." name mean)
+      r.mean_ckpt_interval;
+    List.iter2
+      (fun (name, restarts) (_, lost) ->
+        if restarts > 0 then
+          Format.printf "%s: %d restarts, %.3g node-seconds rolled back@." name restarts
+            lost)
+      r.restarts_by_class r.lost_work_by_class
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a single simulation and print its waste breakdown.")
+    Term.(const action $ strategy_t $ bandwidth_t $ mtbf_years_t $ seed_t $ days_t
+          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t)
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool domains f = Pool.with_pool ?num_domains:domains f
+
+let fig1_cmd =
+  let action reps seed days mtbf_years out domains =
+    with_pool domains (fun pool ->
+        finish_figure out
+          (E.Fig1.run ~pool ~node_mtbf_years:mtbf_years ~reps ~seed ~days ()))
+  in
+  Cmd.v (Cmd.info "fig1" ~doc:"Waste ratio vs bandwidth (paper Figure 1).")
+    Term.(const action $ reps_t 100 $ seed_t $ days_t $ mtbf_years_t $ out_t $ domains_t)
+
+let fig2_cmd =
+  let action reps seed days bandwidth out domains =
+    with_pool domains (fun pool ->
+        finish_figure out
+          (E.Fig2.run ~pool ~bandwidth_gbs:bandwidth ~reps ~seed ~days ()))
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Waste ratio vs node MTBF (paper Figure 2).")
+    Term.(const action $ reps_t 100 $ seed_t $ days_t $ bandwidth_t $ out_t $ domains_t)
+
+let fig3_cmd =
+  let action reps seed days out domains =
+    with_pool domains (fun pool ->
+        finish_figure out (E.Fig3.run ~pool ~reps ~seed ~days ()))
+  in
+  Cmd.v (Cmd.info "fig3" ~doc:"Min bandwidth for 80% efficiency (paper Figure 3).")
+    Term.(const action $ reps_t 5 $ seed_t
+          $ Arg.(value & opt float 20.0 & info [ "days" ] ~docv:"DAYS"
+                   ~doc:"Segment length per probe.")
+          $ out_t $ domains_t)
+
+let table1_cmd =
+  let action () = print_string (E.Table1.render ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"LANL APEX workload table (paper Table 1).")
+    Term.(const action $ const ())
+
+let bound_cmd =
+  let action bandwidth mtbf_years prospective =
+    let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+    let classes =
+      if prospective then Apex.scaled_workload ~target:platform else Apex.lanl_workload
+    in
+    let counts = Waste.steady_state_counts ~classes ~platform in
+    let r = Lower_bound.solve_model ~classes:counts ~platform () in
+    Format.printf "%a@." Platform.pp platform;
+    Format.printf "lambda: %.6g@." r.Lower_bound.lambda;
+    Format.printf "I/O fraction F: %.4f@." r.io_fraction;
+    Format.printf "waste lower bound: %.4f (efficiency %.4f)@." r.waste (1.0 -. r.waste);
+    List.iteri
+      (fun i ((_, c), (p, pd)) ->
+        ignore i;
+        Format.printf "  %-10s P_opt = %8.0f s   P_Daly = %8.0f s@."
+          c.Cocheck_model.App_class.name p pd)
+      (List.combine counts (List.combine r.periods r.daly_periods))
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Theorem 1 lower bound and optimal periods for a platform.")
+    Term.(const action $ bandwidth_t $ mtbf_years_t $ prospective_t)
+
+let trace_cmd =
+  let action strategy bandwidth mtbf_years seed days prospective limit job =
+    let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+    let cfg = Config.make ~platform ~strategy ~seed ~days () in
+    let trace = Cocheck_sim.Trace.create () in
+    let r = Simulator.run ~trace cfg in
+    Format.printf
+      "%d events traced (%d retained); jobs started %d, completed %d, restarts %d@.@."
+      (Cocheck_sim.Trace.length trace + Cocheck_sim.Trace.dropped trace)
+      (Cocheck_sim.Trace.length trace)
+      r.Simulator.jobs_started r.jobs_completed r.restarts;
+    match job with
+    | Some job ->
+        List.iter
+          (fun e -> Format.printf "%a@." Cocheck_sim.Trace.pp_event e)
+          (Cocheck_sim.Trace.for_job trace ~job)
+    | None -> print_string (Cocheck_sim.Trace.dump ~limit trace)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a short simulation and dump its structured event log.")
+    Term.(const action
+          $ Arg.(value & opt strategy_conv Strategy.Least_waste
+                 & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Strategy to trace.")
+          $ bandwidth_t $ mtbf_years_t $ seed_t
+          $ Arg.(value & opt float 3.0 & info [ "days" ] ~docv:"DAYS"
+                   ~doc:"Segment length (keep small: traces are verbose).")
+          $ prospective_t
+          $ Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N"
+                   ~doc:"Maximum events to print.")
+          $ Arg.(value & opt (some int) None & info [ "job" ] ~docv:"JOB"
+                   ~doc:"Only print events of this job id."))
+
+let ablation_cmd =
+  let which_t =
+    Arg.(value
+         & pos 0 (enum
+                    [ ("failures", `Failures); ("interference", `Interference);
+                      ("burst-buffer", `Bb); ("period", `Period);
+                      ("optimal-periods", `Optimal); ("two-level", `Two_level);
+                      ("fixed-period", `Fixed_period); ("all", `All) ])
+             `All
+         & info [] ~docv:"STUDY"
+             ~doc:"One of failures, interference, burst-buffer, period, \
+                   optimal-periods, all.")
+  in
+  let action which reps seed days domains =
+    with_pool domains (fun pool ->
+        let show (s : E.Ablations.study) =
+          Format.printf "@.%s@.%s" s.E.Ablations.title
+            (Cocheck_util.Table.render s.table)
+        in
+        let run_failures () = show (E.Ablations.failure_distribution ~pool ~reps ~seed ~days ()) in
+        let run_interference () = show (E.Ablations.interference_model ~pool ~reps ~seed ~days ()) in
+        let run_bb () = show (E.Ablations.burst_buffer ~pool ~reps ~seed ~days ()) in
+        let run_period () = show (E.Ablations.period_scaling ()) in
+        let run_optimal () = show (E.Ablations.optimal_periods ~pool ~reps ~seed ~days ()) in
+        let run_two_level () = show (E.Ablations.two_level ~pool ~reps ~seed ~days ()) in
+        let run_fixed () = show (E.Ablations.fixed_period ~pool ~reps ~seed ~days ()) in
+        match which with
+        | `Failures -> run_failures ()
+        | `Interference -> run_interference ()
+        | `Bb -> run_bb ()
+        | `Period -> run_period ()
+        | `Optimal -> run_optimal ()
+        | `Two_level -> run_two_level ()
+        | `Fixed_period -> run_fixed ()
+        | `All ->
+            run_failures ();
+            run_interference ();
+            run_bb ();
+            run_period ();
+            run_optimal ();
+            run_two_level ();
+            run_fixed ())
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Ablation studies: failure law, interference model, \
+                               burst buffer, period scaling.")
+    Term.(const action $ which_t $ reps_t 8 $ seed_t
+          $ Arg.(value & opt float 20.0 & info [ "days" ] ~docv:"DAYS"
+                   ~doc:"Segment length per run.")
+          $ domains_t)
+
+let timeline_cmd =
+  let action strategy bandwidth mtbf_years seed days prospective buckets =
+    let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+    let cfg = Config.make ~platform ~strategy ~seed ~days () in
+    let trace = Cocheck_sim.Trace.create ~capacity:2_000_000 () in
+    let r = Simulator.run ~trace cfg in
+    let tl =
+      E.Timeline.build ~trace ~total_nodes:platform.Platform.nodes ~horizon:cfg.horizon
+        ~buckets ()
+    in
+    Format.printf "%a — %s, %d jobs started, %d restarts@.@." Platform.pp platform
+      (Strategy.name strategy) r.Simulator.jobs_started r.restarts;
+    print_string (E.Timeline.render tl)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Run a simulation and render the node-utilization timeline (dips = failure \
+             kills and drain effects).")
+    Term.(const action
+          $ Arg.(value & opt strategy_conv Strategy.Least_waste
+                 & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Strategy to run.")
+          $ bandwidth_t $ mtbf_years_t $ seed_t
+          $ Arg.(value & opt float 10.0 & info [ "days" ] ~docv:"DAYS"
+                   ~doc:"Segment length.")
+          $ prospective_t
+          $ Arg.(value & opt int 48 & info [ "buckets" ] ~docv:"N"
+                   ~doc:"Time buckets to render."))
+
+let check_cmd =
+  let action reps seed days domains =
+    with_pool domains (fun pool ->
+        let checks = E.Shape_checks.run ~pool ~reps ~seed ~days () in
+        print_string (E.Shape_checks.render checks);
+        if not (E.Shape_checks.all_passed checks) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify the paper's qualitative claims (strategy orderings, crossovers, \
+             bound tracking) against a reduced Monte Carlo. Exits non-zero on failure.")
+    Term.(const action $ reps_t 8 $ seed_t
+          $ Arg.(value & opt float 15.0 & info [ "days" ] ~docv:"DAYS"
+                   ~doc:"Segment length per run.")
+          $ domains_t)
+
+let report_cmd =
+  let action full seed out domains =
+    with_pool domains (fun pool ->
+        let depth = if full then E.Report.full else E.Report.quick in
+        let md = E.Report.generate ~pool ~depth ~seed () in
+        match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc md;
+            close_out oc;
+            Format.printf "wrote %s@." path
+        | None -> print_string md)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run every experiment and emit a self-contained markdown reproduction              report (quick depth by default; --full for the EXPERIMENTS.md protocol).")
+    Term.(const action
+          $ Arg.(value & flag & info [ "full" ] ~doc:"Full-depth protocol (slow).")
+          $ seed_t $ out_t $ domains_t)
+
+let main =
+  Cmd.group
+    (Cmd.info "simctl" ~version:"1.0.0"
+       ~doc:"Cooperative checkpointing for shared HPC platforms — simulator and experiments.")
+    [
+      run_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd; bound_cmd; trace_cmd;
+      ablation_cmd; check_cmd; timeline_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

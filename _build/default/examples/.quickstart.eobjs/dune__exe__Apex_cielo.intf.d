@@ -1,0 +1,1 @@
+examples/apex_cielo.mli:

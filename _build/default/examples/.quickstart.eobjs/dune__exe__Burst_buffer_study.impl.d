@@ -1,0 +1,1 @@
+examples/burst_buffer_study.ml: Cocheck_core Cocheck_model Cocheck_sim Cocheck_util Format List Printf

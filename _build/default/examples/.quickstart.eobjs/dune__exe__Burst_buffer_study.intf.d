@@ -1,0 +1,1 @@
+examples/burst_buffer_study.mli:

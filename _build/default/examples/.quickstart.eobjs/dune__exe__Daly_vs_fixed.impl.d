@@ -1,0 +1,1 @@
+examples/daly_vs_fixed.ml: Cocheck_core Cocheck_model Cocheck_sim Cocheck_util Format List Printf

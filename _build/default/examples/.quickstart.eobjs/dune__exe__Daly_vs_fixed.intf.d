@@ -1,0 +1,1 @@
+examples/daly_vs_fixed.mli:

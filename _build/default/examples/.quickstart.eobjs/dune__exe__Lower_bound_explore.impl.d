@@ -1,0 +1,1 @@
+examples/lower_bound_explore.ml: Cocheck_core Cocheck_model Cocheck_util Format List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cocheck_core Cocheck_model Cocheck_sim Format List Unix

@@ -1,0 +1,1 @@
+examples/two_level_study.ml: Cocheck_core Cocheck_model Cocheck_sim Cocheck_util Format List Printf

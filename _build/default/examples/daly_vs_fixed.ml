@@ -1,0 +1,72 @@
+(* A single-application study: how the checkpoint period drives waste.
+
+   Takes one application class (EAP on Cielo) and sweeps the checkpoint
+   period from minutes to many hours, printing the analytic waste model
+   of Equation (3) next to a simulation of the same single-class workload,
+   and marking the Young/Daly optimum. Also shows the Arunagiri-style
+   trade-off: stretching the period above Daly's sheds I/O pressure much
+   faster than it adds waste. *)
+
+module Platform = Cocheck_model.Platform
+module App_class = Cocheck_model.App_class
+module Apex = Cocheck_model.Apex
+module Strategy = Cocheck_core.Strategy
+module Daly = Cocheck_core.Daly
+module Waste = Cocheck_core.Waste
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module Table = Cocheck_util.Table
+module Units = Cocheck_util.Units
+
+let () =
+  let platform = Platform.cielo ~bandwidth_gbs:160.0 ~node_mtbf_years:2.0 () in
+  let c = Apex.eap in
+  let ckpt_s = App_class.ckpt_time c ~platform in
+  let mtbf_s = App_class.mtbf c ~platform in
+  let daly = Daly.period ~ckpt_s ~mtbf_s in
+  Format.printf "Application: %a@." App_class.pp c;
+  Format.printf "C = %.0f s, per-job MTBF = %.2f h, Daly period = %.0f s (%.2f h)@.@."
+    ckpt_s (Units.to_hours mtbf_s) daly (Units.to_hours daly);
+
+  (* Single-class workload so the simulated waste isolates this class. *)
+  let eap_only = { c with App_class.workload_pct = 100.0 } in
+  let simulate period_s =
+    let strategy = Strategy.Ordered_nb (Strategy.Fixed period_s) in
+    let cfg s =
+      Config.make ~platform ~classes:[ eap_only ] ~strategy:s ~seed:5 ~days:12.0 ()
+    in
+    let specs = Simulator.generate_specs (cfg Strategy.Baseline) in
+    let baseline = Simulator.run ~specs (cfg Strategy.Baseline) in
+    let r = Simulator.run ~specs (cfg strategy) in
+    Simulator.waste_ratio ~strategy:r ~baseline
+  in
+  let analytic period_s =
+    Waste.job_waste ~ckpt_s ~period_s ~recovery_s:ckpt_s ~mtbf_s
+  in
+  let io_pressure period_s =
+    (* Fraction of the PFS this class alone consumes for checkpoints. *)
+    let n = 0.66 *. 17_888.0 /. 2048.0 in
+    n *. ckpt_s /. period_s
+  in
+  let table =
+    Table.create
+      ~headers:[ "period"; "vs Daly"; "analytic waste"; "simulated waste"; "I/O pressure" ]
+  in
+  List.iter
+    (fun factor ->
+      let p = daly *. factor in
+      Table.add_row table
+        [
+          Format.asprintf "%a" Units.pp_duration p;
+          Printf.sprintf "%.2fx" factor;
+          Printf.sprintf "%.4f" (analytic p);
+          Printf.sprintf "%.4f" (simulate p);
+          Printf.sprintf "%.3f" (io_pressure p);
+        ])
+    [ 0.25; 0.5; 0.8; 1.0; 1.25; 2.0; 4.0 ];
+  print_string (Table.render table);
+  Format.printf
+    "@.The analytic curve is flat around its minimum: doubling the Daly period@.";
+  Format.printf
+    "halves the checkpoint I/O pressure at a small waste penalty — the fact the@.";
+  Format.printf "constrained optimum of Theorem 1 exploits when bandwidth is scarce.@."

@@ -1,0 +1,1 @@
+lib/core/daly.ml: App_class Cocheck_model

@@ -1,0 +1,1 @@
+lib/core/least_waste.ml: Candidate Cocheck_util List Option

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: App_class Cocheck_model Cocheck_util List Numerics Waste

@@ -1,0 +1,1 @@
+lib/core/period_tradeoff.ml: Cocheck_util Daly List Waste

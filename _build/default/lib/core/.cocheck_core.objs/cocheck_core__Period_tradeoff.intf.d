@@ -1,0 +1,1 @@
+lib/core/period_tradeoff.mli:

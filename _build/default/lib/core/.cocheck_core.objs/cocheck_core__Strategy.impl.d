@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Float Format Fun List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/two_level.ml: Daly Float Waste

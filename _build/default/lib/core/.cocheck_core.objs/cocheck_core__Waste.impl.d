@@ -1,0 +1,1 @@
+lib/core/waste.ml: Array Cocheck_model Cocheck_util List

@@ -1,0 +1,1 @@
+lib/core/waste.mli: Cocheck_model

@@ -1,0 +1,28 @@
+type io = { key : int; nodes : int; service_s : float; waited_s : float }
+
+type ckpt = {
+  key : int;
+  nodes : int;
+  ckpt_s : float;
+  exposed_s : float;
+  recovery_s : float;
+}
+
+type t = Io of io | Ckpt of ckpt
+
+let key = function Io c -> c.key | Ckpt c -> c.key
+let nodes = function Io c -> c.nodes | Ckpt c -> c.nodes
+let service_time = function Io c -> c.service_s | Ckpt c -> c.ckpt_s
+
+let validate t =
+  let bad = invalid_arg in
+  match t with
+  | Io c ->
+      if c.nodes <= 0 then bad "Candidate: non-positive node count";
+      if c.service_s < 0.0 then bad "Candidate: negative service time";
+      if c.waited_s < 0.0 then bad "Candidate: negative wait"
+  | Ckpt c ->
+      if c.nodes <= 0 then bad "Candidate: non-positive node count";
+      if c.ckpt_s < 0.0 then bad "Candidate: negative checkpoint time";
+      if c.exposed_s < 0.0 then bad "Candidate: negative exposure";
+      if c.recovery_s < 0.0 then bad "Candidate: negative recovery time"

@@ -1,0 +1,38 @@
+(** Candidate descriptions for the Least-Waste token arbitration
+    (Section 3.5).
+
+    When the I/O token frees at time [t], the scheduler considers two pools:
+    {ul
+    {- {b IO-candidates}: jobs blocked on an input, output or recovery
+       request — idle for [waited_s] seconds, needing [service_s] seconds of
+       exclusive I/O;}
+    {- {b Ckpt-candidates}: jobs whose Daly period has elapsed — still
+       computing, exposed for [exposed_s] seconds since their last committed
+       checkpoint, needing [ckpt_s] seconds to commit.}} *)
+
+type io = {
+  key : int;  (** caller's identifier for the winning request *)
+  nodes : int;  (** q_j *)
+  service_s : float;  (** v_j: exclusive-bandwidth transfer time *)
+  waited_s : float;  (** d_j: idle time accumulated so far *)
+}
+
+type ckpt = {
+  key : int;
+  nodes : int;  (** q_j *)
+  ckpt_s : float;  (** C_j *)
+  exposed_s : float;  (** d_j: time since the last committed checkpoint *)
+  recovery_s : float;  (** R_j *)
+}
+
+type t = Io of io | Ckpt of ckpt
+
+val key : t -> int
+val nodes : t -> int
+
+val service_time : t -> float
+(** Exclusive I/O time the candidate needs if selected ([v_j] or [C_j]). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on negative durations or non-positive node
+    counts. *)

@@ -1,0 +1,10 @@
+let period ~ckpt_s ~mtbf_s =
+  if ckpt_s <= 0.0 then invalid_arg "Daly.period: checkpoint time must be positive";
+  if mtbf_s <= 0.0 then invalid_arg "Daly.period: MTBF must be positive";
+  sqrt (2.0 *. mtbf_s *. ckpt_s)
+
+let period_for c ~platform =
+  let open Cocheck_model in
+  period ~ckpt_s:(App_class.ckpt_time c ~platform) ~mtbf_s:(App_class.mtbf c ~platform)
+
+let valid_regime ~ckpt_s ~mtbf_s = ckpt_s <= mtbf_s /. 2.0

@@ -1,0 +1,18 @@
+(** The Young/Daly first-order optimal checkpoint period.
+
+    For a job with checkpoint commit time [C] and MTBF [µ], the period
+    minimising the single-job waste of {!Waste.job_waste} is
+    [P = sqrt (2 µ C)] (the paper's Equation (5), restricted to λ = 0). *)
+
+val period : ckpt_s:float -> mtbf_s:float -> float
+(** [period ~ckpt_s ~mtbf_s] is [sqrt (2 · mtbf_s · ckpt_s)]. Requires both
+    arguments positive. *)
+
+val period_for : Cocheck_model.App_class.t -> platform:Cocheck_model.Platform.t -> float
+(** Daly period of a class on a platform: C_i at full aggregate bandwidth,
+    µ_i = µ_ind / q_i. *)
+
+val valid_regime : ckpt_s:float -> mtbf_s:float -> bool
+(** The first-order formula assumes [C ≪ µ]; this reports [C <= µ / 2], the
+    usual sanity bound. Outside it the period exceeds µ and the model's
+    assumptions degrade. *)

@@ -1,0 +1,33 @@
+(* Equations (1) and (2) share one shape: W_i = v × Σ_{j ≠ i} term(j), where
+   v is the service time of the selected candidate and term(j) depends on
+   which pool j belongs to. *)
+
+let inflicted_waste ~node_mtbf_s ~service_s ~self candidates =
+  if node_mtbf_s <= 0.0 then invalid_arg "Least_waste: MTBF must be positive";
+  let v = service_s in
+  let term (c : Candidate.t) =
+    if Candidate.key c = self then 0.0
+    else
+      match c with
+      | Candidate.Io io -> float_of_int io.nodes *. (io.waited_s +. v)
+      | Candidate.Ckpt ck ->
+          let q = float_of_int ck.nodes in
+          q *. q /. node_mtbf_s *. (ck.recovery_s +. ck.exposed_s +. (v /. 2.0))
+  in
+  v *. Cocheck_util.Numerics.sum_by term candidates
+
+let select ~node_mtbf_s candidates =
+  if node_mtbf_s <= 0.0 then invalid_arg "Least_waste.select: MTBF must be positive";
+  List.iter Candidate.validate candidates;
+  let best = ref None in
+  List.iter
+    (fun c ->
+      let w =
+        inflicted_waste ~node_mtbf_s ~service_s:(Candidate.service_time c)
+          ~self:(Candidate.key c) candidates
+      in
+      match !best with
+      | Some (_, w_best) when w >= w_best -> ()
+      | _ -> best := Some (c, w))
+    candidates;
+  Option.map fst !best

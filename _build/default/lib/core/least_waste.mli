@@ -1,0 +1,26 @@
+(** The Least-Waste selection heuristic (Equations (1) and (2)).
+
+    Serving candidate [i] for [v] seconds inflicts on every other candidate
+    [j] an expected waste:
+    {ul
+    {- [j] an IO-candidate: [q_j · (d_j + v)] node-seconds of additional
+       deterministic idling;}
+    {- [j] a Ckpt-candidate: [v/µ_j · q_j · (R_j + d_j + v/2)] expected
+       node-seconds — the probability [v/µ_j] that a failure strikes [j]
+       during the service window times the recovery-and-rework it would then
+       pay (with [µ_j = µ_ind / q_j], this is
+       [v · q_j² / µ_ind · (R_j + d_j + v/2)]).}}
+
+    The token goes to the candidate minimising the total waste inflicted on
+    the others. *)
+
+val inflicted_waste : node_mtbf_s:float -> service_s:float -> self:int -> Candidate.t list -> float
+(** [inflicted_waste ~node_mtbf_s ~service_s ~self candidates] is the waste
+    [W_i] of Equations (1)/(2): serving for [service_s] seconds, summed over
+    every candidate whose key differs from [self]. *)
+
+val select : node_mtbf_s:float -> Candidate.t list -> Candidate.t option
+(** The candidate with minimal inflicted waste; ties break towards the
+    earliest in the list (FCFS among equals). [None] on an empty list.
+    Raises [Invalid_argument] if any candidate fails
+    {!Candidate.validate} or [node_mtbf_s <= 0]. *)

@@ -1,0 +1,77 @@
+open Cocheck_util
+
+type input = {
+  classes : Waste.class_load list;
+  total_nodes : int;
+  node_mtbf_s : float;
+}
+
+type result = {
+  lambda : float;
+  periods : float list;
+  daly_periods : float list;
+  io_fraction : float;
+  waste : float;
+}
+
+let period_at ~lambda ~total_nodes ~node_mtbf_s (c : Waste.class_load) =
+  let n = float_of_int total_nodes and q = float_of_int c.q in
+  sqrt (2.0 *. node_mtbf_s *. n *. c.ckpt_s *. ((q /. n) +. lambda) /. (q *. q))
+
+let solve input =
+  if input.classes = [] then invalid_arg "Lower_bound.solve: no classes";
+  if input.total_nodes <= 0 then invalid_arg "Lower_bound.solve: total_nodes must be positive";
+  if input.node_mtbf_s <= 0.0 then invalid_arg "Lower_bound.solve: MTBF must be positive";
+  List.iter
+    (fun (c : Waste.class_load) ->
+      if c.n <= 0.0 || c.q <= 0 || c.ckpt_s <= 0.0 then
+        invalid_arg "Lower_bound.solve: degenerate class load")
+    input.classes;
+  let periods_at lambda =
+    List.map
+      (period_at ~lambda ~total_nodes:input.total_nodes ~node_mtbf_s:input.node_mtbf_s)
+      input.classes
+  in
+  let excess lambda =
+    Waste.io_fraction ~classes:input.classes ~periods:(periods_at lambda) -. 1.0
+  in
+  (* F(λ) is strictly decreasing in λ, so the KKT multiplier is the smallest
+     non-negative root of F(λ) = 1 (0 when F(0) <= 1 already). *)
+  let lambda = Numerics.find_min_positive ~f:excess ~hi0:1.0 () in
+  let periods = periods_at lambda in
+  let daly_periods = periods_at 0.0 in
+  {
+    lambda;
+    periods;
+    daly_periods;
+    io_fraction = Waste.io_fraction ~classes:input.classes ~periods;
+    waste =
+      Waste.platform_waste ~classes:input.classes ~periods ~total_nodes:input.total_nodes
+        ~node_mtbf_s:input.node_mtbf_s;
+  }
+
+let steady_state_regular_io_gbs ~classes ~platform =
+  Numerics.sum_by
+    (fun (n, c) ->
+      let open Cocheck_model in
+      n
+      *. (App_class.input_gb c ~platform +. App_class.output_gb c ~platform)
+      /. c.App_class.walltime_s)
+    classes
+
+let solve_model ~classes ~platform ?avail_bandwidth_gbs () =
+  let avail =
+    match avail_bandwidth_gbs with
+    | Some b -> b
+    | None ->
+        platform.Cocheck_model.Platform.bandwidth_gbs
+        -. steady_state_regular_io_gbs ~classes ~platform
+  in
+  if avail <= 0.0 then
+    invalid_arg "Lower_bound.solve_model: regular I/O saturates the bandwidth";
+  solve
+    {
+      classes = Waste.of_model ~classes ~platform ~avail_bandwidth_gbs:avail;
+      total_nodes = platform.Cocheck_model.Platform.nodes;
+      node_mtbf_s = platform.Cocheck_model.Platform.node_mtbf_s;
+    }

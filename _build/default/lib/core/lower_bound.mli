@@ -1,0 +1,51 @@
+(** Theorem 1: the lower bound on platform waste under the aggregate I/O
+    constraint [F = Σ n_i C_i / P_i <= 1].
+
+    The optimal periods come from the KKT conditions of minimising the
+    platform waste (Equation (7)) under the constraint (Equation (6)):
+
+    [P_i(λ) = sqrt (2 µ N C_i (q_i/N + λ) / q_i²)]           (Equation (8))
+
+    where λ ≥ 0 is the Lagrange multiplier, 0 when the unconstrained Daly
+    periods already fit in the available I/O bandwidth. λ has no closed
+    form: [F(λ)] is strictly decreasing, so we bisect for the smallest λ
+    with [F(λ) <= 1]. *)
+
+type input = {
+  classes : Waste.class_load list;
+  total_nodes : int;  (** N *)
+  node_mtbf_s : float;  (** µ_ind *)
+}
+
+type result = {
+  lambda : float;  (** 0 when the I/O constraint is slack *)
+  periods : float list;  (** per-class optimal periods, Equation (8) order-aligned *)
+  daly_periods : float list;  (** unconstrained periods (λ = 0) for reference *)
+  io_fraction : float;  (** F at the optimal periods; = 1 when constrained *)
+  waste : float;  (** the lower bound, Equation (7) *)
+}
+
+val period_at : lambda:float -> total_nodes:int -> node_mtbf_s:float -> Waste.class_load -> float
+(** Equation (8) for one class. *)
+
+val solve : input -> result
+(** Compute the bound. Raises [Invalid_argument] on empty class lists or
+    non-positive dimensions. *)
+
+val solve_model :
+  classes:(float * Cocheck_model.App_class.t) list ->
+  platform:Cocheck_model.Platform.t ->
+  ?avail_bandwidth_gbs:float ->
+  unit ->
+  result
+(** Convenience wrapper: build the steady-state loads from model classes.
+    [avail_bandwidth_gbs] defaults to the platform bandwidth minus the
+    steady-state regular-I/O demand [Σ n_i (input_i + output_i) / walltime_i]
+    (the Section 4 assumption that initial/final I/O spans the execution). *)
+
+val steady_state_regular_io_gbs :
+  classes:(float * Cocheck_model.App_class.t) list ->
+  platform:Cocheck_model.Platform.t ->
+  float
+(** The regular-I/O bandwidth demand subtracted by {!solve_model}'s
+    default. *)

@@ -1,0 +1,46 @@
+type point = {
+  gamma : float;
+  period_s : float;
+  waste : float;
+  relative_waste : float;
+  io_pressure : float;
+  relative_pressure : float;
+}
+
+let evaluate ~ckpt_s ~mtbf_s ~recovery_s ~gamma =
+  if gamma <= 0.0 then invalid_arg "Period_tradeoff.evaluate: gamma must be positive";
+  let daly = Daly.period ~ckpt_s ~mtbf_s in
+  let period_s = gamma *. daly in
+  let waste = Waste.job_waste ~ckpt_s ~period_s ~recovery_s ~mtbf_s in
+  let waste_daly = Waste.job_waste ~ckpt_s ~period_s:daly ~recovery_s ~mtbf_s in
+  {
+    gamma;
+    period_s;
+    waste;
+    relative_waste = waste /. waste_daly;
+    io_pressure = ckpt_s /. period_s;
+    relative_pressure = 1.0 /. gamma;
+  }
+
+let sweep ~ckpt_s ~mtbf_s ~recovery_s ~gammas =
+  List.map (fun gamma -> evaluate ~ckpt_s ~mtbf_s ~recovery_s ~gamma) gammas
+
+let pressure_halving_cost ~ckpt_s ~mtbf_s ~recovery_s =
+  (evaluate ~ckpt_s ~mtbf_s ~recovery_s ~gamma:2.0).relative_waste -. 1.0
+
+let max_gamma_within ~ckpt_s ~mtbf_s ~recovery_s ~budget =
+  if budget < 0.0 then invalid_arg "Period_tradeoff.max_gamma_within: negative budget";
+  let base = (evaluate ~ckpt_s ~mtbf_s ~recovery_s ~gamma:1.0).waste in
+  let ceiling = (1.0 +. budget) *. base in
+  (* Waste is increasing in gamma for gamma >= 1 (past the minimum), so the
+     feasible set is an interval [1, gamma_max]. *)
+  let excess gamma = (evaluate ~ckpt_s ~mtbf_s ~recovery_s ~gamma).waste -. ceiling in
+  if budget = 0.0 then 1.0
+  else begin
+    let hi = ref 2.0 in
+    while excess !hi < 0.0 && !hi < 1e6 do
+      hi := !hi *. 2.0
+    done;
+    if excess !hi < 0.0 then !hi
+    else Cocheck_util.Numerics.bisect ~f:excess ~lo:1.0 ~hi:!hi ()
+  end

@@ -1,0 +1,37 @@
+(** The sub-optimal-period trade-off of Arunagiri, Daly & Teller (ASMTA'10,
+    the paper's reference [12]): stretching the checkpoint period beyond
+    Young/Daly's sheds I/O pressure much faster than it adds waste, because
+    the waste curve is flat around its minimum while pressure falls as 1/γ.
+
+    This is the analytic backbone of the constrained optimum of Theorem 1 —
+    and of the ablation bench that sweeps γ. *)
+
+type point = {
+  gamma : float;  (** period scale factor, P = γ · P_Daly *)
+  period_s : float;
+  waste : float;  (** single-job waste at the scaled period, Equation (3) *)
+  relative_waste : float;  (** waste / waste(γ = 1) *)
+  io_pressure : float;  (** C/P per job: fraction of the device one job uses *)
+  relative_pressure : float;  (** pressure / pressure(γ = 1) = 1/γ *)
+}
+
+val evaluate :
+  ckpt_s:float -> mtbf_s:float -> recovery_s:float -> gamma:float -> point
+(** Requires positive [ckpt_s], [mtbf_s], [gamma]; non-negative
+    [recovery_s]. *)
+
+val sweep :
+  ckpt_s:float -> mtbf_s:float -> recovery_s:float -> gammas:float list -> point list
+
+val pressure_halving_cost : ckpt_s:float -> mtbf_s:float -> recovery_s:float -> float
+(** The relative waste increase paid for halving the I/O pressure
+    ([γ = 2]). At the Daly optimum the checkpoint and re-execution terms are
+    equal, so with negligible R/µ the cost is exactly
+    [(1/2 + 2)/2 − 1 = 25 %] of an already-small waste — the quantified form
+    of Arunagiri et al.'s observation that longer-than-Daly periods are a
+    cheap way to shed I/O pressure. *)
+
+val max_gamma_within : ckpt_s:float -> mtbf_s:float -> recovery_s:float -> budget:float -> float
+(** Largest γ ≥ 1 whose waste stays within [(1 + budget) · waste(1)]
+    (bisection; [budget >= 0]). The I/O pressure then drops by that same
+    factor. *)

@@ -1,0 +1,99 @@
+type period_rule = Fixed of float | Daly | Optimal
+
+type t =
+  | Oblivious of period_rule
+  | Ordered of period_rule
+  | Ordered_nb of period_rule
+  | Least_waste
+  | Baseline
+
+let default_fixed_period_s = 3600.0
+
+let paper_seven =
+  [
+    Oblivious (Fixed default_fixed_period_s);
+    Oblivious Daly;
+    Ordered (Fixed default_fixed_period_s);
+    Ordered Daly;
+    Ordered_nb (Fixed default_fixed_period_s);
+    Ordered_nb Daly;
+    Least_waste;
+  ]
+
+let rule_name = function
+  | Daly -> "Daly"
+  | Optimal -> "Optimal"
+  | Fixed p when p = default_fixed_period_s -> "Fixed"
+  | Fixed p ->
+      if Float.rem p 3600.0 = 0.0 then Printf.sprintf "Fixed(%gh)" (p /. 3600.0)
+      else if Float.rem p 60.0 = 0.0 then Printf.sprintf "Fixed(%gm)" (p /. 60.0)
+      else Printf.sprintf "Fixed(%gs)" p
+
+let name = function
+  | Oblivious r -> "Oblivious-" ^ rule_name r
+  | Ordered r -> "Ordered-" ^ rule_name r
+  | Ordered_nb r -> "Ordered-NB-" ^ rule_name r
+  | Least_waste -> "Least-Waste"
+  | Baseline -> "Baseline"
+
+let parse_rule s =
+  let s = String.lowercase_ascii s in
+  if s = "daly" then Ok Daly
+  else if s = "optimal" || s = "opt" then Ok Optimal
+  else if s = "fixed" then Ok (Fixed default_fixed_period_s)
+  else
+    (* fixed(2h) / fixed(30m) / fixed(900s) *)
+    match String.index_opt s '(' with
+    | Some i when String.length s > i + 2 && s.[String.length s - 1] = ')'
+                  && String.sub s 0 i = "fixed" -> (
+        let body = String.sub s (i + 1) (String.length s - i - 2) in
+        let unit_char = body.[String.length body - 1] in
+        let num = String.sub body 0 (String.length body - 1) in
+        match (float_of_string_opt num, unit_char) with
+        | Some x, 'h' -> Ok (Fixed (x *. 3600.0))
+        | Some x, 'm' -> Ok (Fixed (x *. 60.0))
+        | Some x, 's' -> Ok (Fixed x)
+        | _ -> Error (Printf.sprintf "cannot parse fixed period %S" body))
+    | _ -> Error (Printf.sprintf "unknown period rule %S" s)
+
+let of_string s =
+  let low = String.lowercase_ascii (String.trim s) in
+  match low with
+  | "least-waste" | "leastwaste" | "least_waste" | "lw" -> Ok Least_waste
+  | "baseline" -> Ok Baseline
+  | _ -> (
+      let try_prefix prefix mk =
+        if String.length low > String.length prefix
+           && String.sub low 0 (String.length prefix) = prefix
+        then
+          let rest =
+            String.sub low (String.length prefix) (String.length low - String.length prefix)
+          in
+          Some (Result.map mk (parse_rule rest))
+        else None
+      in
+      let candidates =
+        [
+          (* Ordered-NB must come before Ordered: it is the longer prefix. *)
+          try_prefix "ordered-nb-" (fun r -> Ordered_nb r);
+          try_prefix "ordered_nb_" (fun r -> Ordered_nb r);
+          try_prefix "orderednb-" (fun r -> Ordered_nb r);
+          try_prefix "ordered-" (fun r -> Ordered r);
+          try_prefix "ordered_" (fun r -> Ordered r);
+          try_prefix "oblivious-" (fun r -> Oblivious r);
+          try_prefix "oblivious_" (fun r -> Oblivious r);
+        ]
+      in
+      match List.find_map Fun.id candidates with
+      | Some r -> r
+      | None -> Error (Printf.sprintf "unknown strategy %S" s))
+
+let is_blocking = function
+  | Oblivious _ | Ordered _ | Baseline -> true
+  | Ordered_nb _ | Least_waste -> false
+
+let uses_token = function
+  | Ordered _ | Ordered_nb _ | Least_waste -> true
+  | Oblivious _ | Baseline -> false
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,58 @@
+(** The seven I/O-and-checkpoint scheduling strategies of the paper's
+    evaluation, plus the failure-free baseline used for normalisation. *)
+
+type period_rule =
+  | Fixed of float  (** application-defined fixed period, in seconds *)
+  | Daly  (** per-job Young/Daly period *)
+  | Optimal
+      (** the constrained-optimal periods of Theorem 1 (Equation (8) with
+          the numerically solved λ for the platform's steady-state
+          workload, with C_i priced at the bandwidth left after regular
+          I/O). Essentially [Daly] when the I/O constraint is slack; longer
+          (per-class, weighted by q_i²) when bandwidth is scarce.
+          This goes beyond the paper's evaluated variants: it tests whether
+          feeding the lower bound's periods to the non-blocking scheduler
+          closes the remaining gap to the bound. *)
+
+type t =
+  | Oblivious of period_rule
+      (** uncoordinated I/O: every transfer starts immediately and shares
+          bandwidth linearly, weighted by job size *)
+  | Ordered of period_rule
+      (** blocking FCFS: a single exclusive I/O token, requests served in
+          arrival order, jobs idle while waiting *)
+  | Ordered_nb of period_rule
+      (** non-blocking FCFS: same token, but jobs keep computing while their
+          checkpoint request waits; initial input and final output remain
+          blocking *)
+  | Least_waste
+      (** non-blocking; the token goes to the candidate minimising the
+          expected waste inflicted on the others (always Daly periods) *)
+  | Baseline
+      (** no failures, no checkpoints, no interference — the normalisation
+          run of Section 6 *)
+
+val default_fixed_period_s : float
+(** One hour, the paper's fixed-period heuristic. *)
+
+val paper_seven : t list
+(** The seven strategies of Figures 1–3, in the paper's legend order:
+    Oblivious-Fixed, Oblivious-Daly, Ordered-Fixed, Ordered-Daly,
+    Ordered-NB-Fixed, Ordered-NB-Daly, Least-Waste. *)
+
+val name : t -> string
+(** Paper-style name, e.g. ["Ordered-NB-Daly"]. The fixed period is spelled
+    out only when it differs from one hour (["Ordered-Fixed(30m)"]). *)
+
+val of_string : string -> (t, string) Stdlib.result
+(** Parse a paper-style name (case-insensitive; ["lw"] is accepted for
+    Least-Waste). Fixed variants accept an optional [([<n>]h|m|s)] suffix. *)
+
+val is_blocking : t -> bool
+(** Whether checkpoint requests suspend computation while waiting
+    (Oblivious and Ordered are blocking; the baseline vacuously so). *)
+
+val uses_token : t -> bool
+(** Whether I/O is serialised through an exclusive token. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+let job_waste ~ckpt_s ~period_s ~recovery_s ~mtbf_s =
+  if period_s <= 0.0 then invalid_arg "Waste.job_waste: period must be positive";
+  if mtbf_s <= 0.0 then invalid_arg "Waste.job_waste: MTBF must be positive";
+  if ckpt_s < 0.0 || recovery_s < 0.0 then
+    invalid_arg "Waste.job_waste: negative resilience cost";
+  (ckpt_s /. period_s) +. (((period_s /. 2.0) +. recovery_s) /. mtbf_s)
+
+type class_load = { n : float; q : int; ckpt_s : float; recovery_s : float }
+
+let check_pair classes periods name =
+  if List.length classes <> List.length periods then
+    invalid_arg (name ^ ": classes/periods arity mismatch")
+
+let platform_waste ~classes ~periods ~total_nodes ~node_mtbf_s =
+  check_pair classes periods "Waste.platform_waste";
+  if total_nodes <= 0 then invalid_arg "Waste.platform_waste: total_nodes must be positive";
+  if node_mtbf_s <= 0.0 then invalid_arg "Waste.platform_waste: MTBF must be positive";
+  let terms =
+    List.map2
+      (fun c p ->
+        let mtbf_i = node_mtbf_s /. float_of_int c.q in
+        c.n *. float_of_int c.q /. float_of_int total_nodes
+        *. job_waste ~ckpt_s:c.ckpt_s ~period_s:p ~recovery_s:c.recovery_s ~mtbf_s:mtbf_i)
+      classes periods
+  in
+  Cocheck_util.Numerics.kahan_sum (Array.of_list terms)
+
+let io_fraction ~classes ~periods =
+  check_pair classes periods "Waste.io_fraction";
+  let terms =
+    List.map2
+      (fun c p ->
+        if p <= 0.0 then invalid_arg "Waste.io_fraction: period must be positive";
+        c.n *. c.ckpt_s /. p)
+      classes periods
+  in
+  Cocheck_util.Numerics.kahan_sum (Array.of_list terms)
+
+let of_model ~classes ~platform ~avail_bandwidth_gbs =
+  if avail_bandwidth_gbs <= 0.0 then invalid_arg "Waste.of_model: no bandwidth available";
+  List.map
+    (fun (n, c) ->
+      let size = Cocheck_model.App_class.ckpt_gb c ~platform in
+      let ckpt_s = size /. avail_bandwidth_gbs in
+      { n; q = c.Cocheck_model.App_class.nodes; ckpt_s; recovery_s = ckpt_s })
+    classes
+
+let steady_state_counts ~classes ~platform =
+  List.map
+    (fun (c : Cocheck_model.App_class.t) ->
+      ( c.workload_pct /. 100.0
+        *. float_of_int platform.Cocheck_model.Platform.nodes
+        /. float_of_int c.nodes,
+        c ))
+    classes

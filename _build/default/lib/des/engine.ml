@@ -1,0 +1,52 @@
+open Cocheck_util
+
+type t = {
+  calendar : (t -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+type handle = (t -> unit) Pqueue.handle
+
+let create ?(start = 0.0) () = { calendar = Pqueue.create (); clock = start; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g precedes the clock %g" time t.clock);
+  Pqueue.add t.calendar ~priority:time f
+
+let schedule_after t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t h = Pqueue.remove t.calendar h
+let pending t h = Pqueue.mem t.calendar h
+let time_of t h = Pqueue.priority_of t.calendar h
+
+let step t =
+  match Pqueue.pop t.calendar with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Pqueue.peek t.calendar with
+        | Some (time, _) when time <= horizon -> ignore (step t)
+        | _ ->
+            if t.clock < horizon then t.clock <- horizon;
+            continue := false
+      done
+
+let events_processed t = t.processed
+let queue_length t = Pqueue.length t.calendar

@@ -1,0 +1,43 @@
+(** A generic discrete-event simulation engine.
+
+    Events are closures scheduled at absolute simulation times; the engine
+    pops them in time order, FIFO among equal times (deterministic replay).
+    Handlers may schedule and cancel further events freely. *)
+
+type t
+type handle
+
+val create : ?start:float -> unit -> t
+(** A fresh engine with clock at [start] (default 0). *)
+
+val now : t -> float
+(** Current simulation time: the timestamp of the event being processed, or
+    of the last processed one. Never decreases. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** Schedule a callback at absolute [time]. Scheduling in the past (before
+    {!now}) raises [Invalid_argument]. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> handle
+(** [schedule_after t ~delay f] = [schedule_at t ~time:(now t +. delay) f].
+    Negative delays raise [Invalid_argument]. *)
+
+val cancel : t -> handle -> bool
+(** Cancel a pending event. [false] when it already fired or was cancelled;
+    idempotent. *)
+
+val pending : t -> handle -> bool
+(** Whether the event behind the handle is still scheduled. *)
+
+val time_of : t -> handle -> float option
+(** Firing time of a still-pending event. *)
+
+val step : t -> bool
+(** Process the next event; [false] when the calendar is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the calendar empties, or until the next event lies
+    strictly beyond [until] — the clock is then advanced to [until]. *)
+
+val events_processed : t -> int
+val queue_length : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Cocheck_core Cocheck_model Cocheck_parallel Cocheck_sim Cocheck_util Format Fun List Montecarlo Option Printf Stats Table Units

@@ -1,0 +1,1 @@
+lib/experiments/ablations.mli: Cocheck_core Cocheck_parallel Cocheck_util

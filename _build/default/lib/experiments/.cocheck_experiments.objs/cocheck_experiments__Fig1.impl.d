@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Cocheck_model Figures List Printf Sweep

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Cocheck_core Cocheck_model Figures List Montecarlo Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig3.mli: Cocheck_core Cocheck_model Cocheck_parallel Figures

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Ascii_plot Buffer Cocheck_util Fun List Option Printf Stats String Table

@@ -1,0 +1,1 @@
+lib/experiments/montecarlo.ml: Array Cocheck_core Cocheck_parallel Cocheck_sim Cocheck_util List Stats

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablations Buffer Cocheck_util Fig1 Fig2 Fig3 Figures Float Format Shape_checks String Table1

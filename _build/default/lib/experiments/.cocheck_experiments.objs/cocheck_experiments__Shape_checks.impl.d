@@ -1,0 +1,1 @@
+lib/experiments/shape_checks.ml: Buffer Cocheck_core Cocheck_model Cocheck_util Fig3 Float List Montecarlo Printf Sweep

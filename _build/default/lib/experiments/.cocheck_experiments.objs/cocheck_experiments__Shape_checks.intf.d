@@ -1,0 +1,1 @@
+lib/experiments/shape_checks.mli: Cocheck_parallel

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Cocheck_core Cocheck_model Figures List Montecarlo Option

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Cocheck_core Cocheck_model Cocheck_parallel Figures

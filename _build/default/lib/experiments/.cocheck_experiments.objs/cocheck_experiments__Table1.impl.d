@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Cocheck_core Cocheck_model Cocheck_util Format List Printf String Table Units

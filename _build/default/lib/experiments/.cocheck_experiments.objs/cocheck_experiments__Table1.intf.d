@@ -1,0 +1,1 @@
+lib/experiments/table1.mli: Cocheck_model Cocheck_util

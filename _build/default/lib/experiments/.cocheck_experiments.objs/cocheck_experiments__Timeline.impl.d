@@ -1,0 +1,1 @@
+lib/experiments/timeline.ml: Array Buffer Cocheck_sim Cocheck_util Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/timeline.mli: Cocheck_sim

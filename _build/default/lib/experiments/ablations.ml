@@ -1,0 +1,301 @@
+open Cocheck_util
+module Pool = Cocheck_parallel.Pool
+module Strategy = Cocheck_core.Strategy
+module Period_tradeoff = Cocheck_core.Period_tradeoff
+module App_class = Cocheck_model.App_class
+module Apex = Cocheck_model.Apex
+module Platform = Cocheck_model.Platform
+module Failure_trace = Cocheck_sim.Failure_trace
+module Burst_buffer = Cocheck_sim.Burst_buffer
+
+type row = { label : string; values : (string * float) list }
+type study = { title : string; rows : row list; table : Table.t }
+
+let build_study ~title ~columns ~rows =
+  let table = Table.create ~headers:("" :: columns) in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        (r.label
+        :: List.map
+             (fun col ->
+               match List.assoc_opt col r.values with
+               | Some v -> Printf.sprintf "%.3f" v
+               | None -> "-")
+             columns))
+    rows;
+  { title; rows; table }
+
+let value study ~row ~col =
+  List.find_opt (fun r -> r.label = row) study.rows
+  |> Fun.flip Option.bind (fun r -> List.assoc_opt col r.values)
+
+let default_strategies =
+  [
+    Strategy.Oblivious (Strategy.Fixed Strategy.default_fixed_period_s);
+    Strategy.Oblivious Strategy.Daly;
+    Strategy.Ordered_nb Strategy.Daly;
+    Strategy.Least_waste;
+  ]
+
+let strategy_columns strategies = List.map Strategy.name strategies
+
+let failure_distribution ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
+    ?(strategies = default_strategies) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:2.0 () in
+  let laws =
+    [
+      Failure_trace.Exponential;
+      Failure_trace.Weibull { shape = 0.7 };
+      Failure_trace.Weibull { shape = 1.5 };
+    ]
+  in
+  let rows =
+    List.map
+      (fun law ->
+        let ms =
+          Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days
+            ~failure_dist:law ()
+        in
+        {
+          label = Failure_trace.distribution_name law;
+          values =
+            List.map
+              (fun m ->
+                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
+              ms;
+        })
+      laws
+  in
+  build_study
+    ~title:
+      "Ablation: failure inter-arrival law (Cielo, 40 GB/s, 2y node MTBF; mean waste ratio)"
+    ~columns:(strategy_columns strategies) ~rows
+
+let interference_model ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
+    ?(alphas = [ 0.0; 0.25; 0.5; 1.0 ]) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:10.0 () in
+  let strategies = default_strategies in
+  let rows =
+    List.map
+      (fun alpha ->
+        let ms =
+          Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days
+            ~interference_alpha:alpha ()
+        in
+        {
+          label = Printf.sprintf "alpha=%g" alpha;
+          values =
+            List.map
+              (fun m ->
+                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
+              ms;
+        })
+      alphas
+  in
+  build_study
+    ~title:
+      "Ablation: adversarial interference (footnote 2); aggregate degrades as 1/(1+alpha(k-1))"
+    ~columns:(strategy_columns strategies) ~rows
+
+let burst_buffer ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
+    ?(capacities_gb = [ 0.0; 100_000.0; 400_000.0; 1_600_000.0 ])
+    ?(bb_bandwidth_gbs = 1_000.0) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:5.0 () in
+  let strategies =
+    [ Strategy.Oblivious (Strategy.Fixed Strategy.default_fixed_period_s); Strategy.Least_waste ]
+  in
+  let rows =
+    List.map
+      (fun cap ->
+        let burst_buffer =
+          if cap <= 0.0 then None
+          else Some { Burst_buffer.capacity_gb = cap; bandwidth_gbs = bb_bandwidth_gbs }
+        in
+        let ms =
+          Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days ?burst_buffer ()
+        in
+        {
+          label =
+            (if cap <= 0.0 then "no buffer"
+             else Format.asprintf "%a buffer" Units.pp_bytes cap);
+          values =
+            List.map
+              (fun m ->
+                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
+              ms;
+        })
+      capacities_gb
+  in
+  build_study
+    ~title:
+      (Printf.sprintf
+         "Ablation: burst-buffer capacity at %.0f GB/s buffer bandwidth (Cielo, 40 GB/s PFS)"
+         bb_bandwidth_gbs)
+    ~columns:(strategy_columns strategies) ~rows
+
+let period_scaling ?(gammas = [ 0.5; 0.8; 1.0; 1.5; 2.0; 3.0 ]) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:2.0 () in
+  let columns =
+    List.concat_map
+      (fun (c : App_class.t) -> [ c.App_class.name ^ " waste"; c.App_class.name ^ " F" ])
+      Apex.lanl_workload
+  in
+  let rows =
+    List.map
+      (fun gamma ->
+        let values =
+          List.concat_map
+            (fun (c : App_class.t) ->
+              let p =
+                Period_tradeoff.evaluate
+                  ~ckpt_s:(App_class.ckpt_time c ~platform)
+                  ~mtbf_s:(App_class.mtbf c ~platform)
+                  ~recovery_s:(App_class.recovery_time c ~platform)
+                  ~gamma
+              in
+              [
+                (c.App_class.name ^ " waste", p.Period_tradeoff.waste);
+                (c.App_class.name ^ " F", p.io_pressure);
+              ])
+            Apex.lanl_workload
+        in
+        { label = Printf.sprintf "gamma=%g" gamma; values })
+      gammas
+  in
+  build_study
+    ~title:
+      "Ablation: period scaling gamma x P_Daly (analytic Eq. 3 waste and per-job I/O fraction)"
+    ~columns ~rows
+
+let optimal_periods ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
+    ?(bandwidths_gbs = [ 30.0; 40.0; 60.0; 100.0 ]) () =
+  let strategies =
+    [
+      Strategy.Ordered_nb Strategy.Daly;
+      Strategy.Ordered_nb Strategy.Optimal;
+      Strategy.Least_waste;
+    ]
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let platform = Platform.cielo ~bandwidth_gbs:b ~node_mtbf_years:2.0 () in
+        let ms = Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days () in
+        let counts =
+          Cocheck_core.Waste.steady_state_counts ~classes:Apex.lanl_workload ~platform
+        in
+        let bound =
+          (Cocheck_core.Lower_bound.solve_model ~classes:counts ~platform ())
+            .Cocheck_core.Lower_bound.waste
+        in
+        {
+          label = Printf.sprintf "%g GB/s" b;
+          values =
+            List.map
+              (fun m ->
+                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
+              ms
+            @ [ ("Theoretical Model", bound) ];
+        })
+      bandwidths_gbs
+  in
+  build_study
+    ~title:
+      "Ablation: Daly vs Theorem-1 (Optimal) checkpoint periods under the non-blocking \
+       scheduler (Cielo, 2y node MTBF)"
+    ~columns:(strategy_columns strategies @ [ "Theoretical Model" ])
+    ~rows
+
+let two_level ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
+    ?(soft_fractions = [ 0.0; 0.3; 0.6; 0.9 ]) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:2.0 () in
+  let strategy = Strategy.Least_waste in
+  (* Local snapshots priced like an SCR XOR level: ~3% of a global commit. *)
+  let ml soft_fraction =
+    {
+      Cocheck_sim.Config.local_period_s = 600.0;
+      local_cost_s = 10.0;
+      local_recovery_s = 30.0;
+      soft_fraction;
+    }
+  in
+  let eap = List.hd Apex.lanl_workload in
+  let analytic soft_fraction =
+    Cocheck_core.Two_level.optimal_waste
+      {
+        Cocheck_core.Two_level.local_cost_s = 10.0;
+        local_recovery_s = 30.0;
+        global_cost_s = App_class.ckpt_time eap ~platform;
+        global_recovery_s = App_class.recovery_time eap ~platform;
+        mtbf_s = App_class.mtbf eap ~platform;
+        soft_fraction;
+      }
+  in
+  let single_level =
+    Montecarlo.mean_waste ~pool ~platform ~strategy ~reps ~seed ~days ()
+  in
+  let rows =
+    List.map
+      (fun soft ->
+        let w =
+          Montecarlo.mean_waste ~pool ~platform ~strategy ~reps ~seed ~days
+            ~multilevel:(ml soft) ()
+        in
+        {
+          label = Printf.sprintf "soft=%g" soft;
+          values =
+            [
+              ("single-level", single_level);
+              ("two-level", w);
+              ("analytic EAP two-level", analytic soft);
+            ];
+        })
+      soft_fractions
+  in
+  build_study
+    ~title:
+      "Ablation: two-level checkpointing under Least-Waste (Cielo, 40 GB/s, 2y node MTBF)"
+    ~columns:[ "single-level"; "two-level"; "analytic EAP two-level" ]
+    ~rows
+
+let fixed_period ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
+    ?(periods_s = [ 1800.0; 3600.0; 7200.0; 14400.0 ]) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:5.0 () in
+  let daly_reference =
+    Montecarlo.measure ~pool ~platform
+      ~strategies:[ Strategy.Oblivious Strategy.Daly; Strategy.Ordered_nb Strategy.Daly ]
+      ~reps ~seed ~days ()
+  in
+  let ref_value strategy =
+    (List.find (fun m -> m.Montecarlo.strategy = strategy) daly_reference).Montecarlo.stats
+      .Stats.mean
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let strategies =
+          [ Strategy.Oblivious (Strategy.Fixed p); Strategy.Ordered_nb (Strategy.Fixed p) ]
+        in
+        let ms = Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days () in
+        let value i = (List.nth ms i).Montecarlo.stats.Stats.mean in
+        {
+          label = Format.asprintf "%a" Units.pp_duration p;
+          values =
+            [
+              ("Oblivious-Fixed", value 0);
+              ("Ordered-NB-Fixed", value 1);
+              ("Oblivious-Daly (ref)", ref_value (Strategy.Oblivious Strategy.Daly));
+              ("Ordered-NB-Daly (ref)", ref_value (Strategy.Ordered_nb Strategy.Daly));
+            ];
+        })
+      periods_s
+  in
+  build_study
+    ~title:
+      "Ablation: fixed-period sensitivity (Cielo, 40 GB/s, 5y node MTBF; Daly references \
+       in the right columns)"
+    ~columns:
+      [ "Oblivious-Fixed"; "Ordered-NB-Fixed"; "Oblivious-Daly (ref)";
+        "Ordered-NB-Daly (ref)" ]
+    ~rows

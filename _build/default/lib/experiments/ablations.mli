@@ -1,0 +1,97 @@
+(** Ablation studies for the design choices DESIGN.md calls out — each
+    isolates one modelling knob on the flagship Cielo scenario and reports
+    how the strategy comparison moves.
+
+    All return a rendered {!Cocheck_util.Table.t} (plus the raw numbers for
+    tests). *)
+
+type row = { label : string; values : (string * float) list }
+
+type study = { title : string; rows : row list; table : Cocheck_util.Table.t }
+
+val failure_distribution :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?strategies:Cocheck_core.Strategy.t list ->
+  unit ->
+  study
+(** Exponential (the paper) vs clustered Weibull (shape 0.7, the field-data
+    regime of Tiwari et al.) vs spaced Weibull (shape 1.5) failure timing,
+    at equal failure rates. Mean waste ratio per strategy per law. *)
+
+val interference_model :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?alphas:float list ->
+  unit ->
+  study
+(** The footnote-2 adversarial model: sweep the contention-degradation
+    factor α and watch Oblivious collapse while the token strategies (which
+    never run concurrent transfers) hold. *)
+
+val burst_buffer :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?capacities_gb:float list ->
+  ?bb_bandwidth_gbs:float ->
+  unit ->
+  study
+(** The Section 8 extension: sweep burst-buffer capacity (0 = none) under a
+    scarce 40 GB/s PFS and report waste, absorption and spill counts for a
+    blocking and a cooperative strategy. *)
+
+val period_scaling :
+  ?gammas:float list ->
+  unit ->
+  study
+(** Analytic Arunagiri study on the four APEX classes at Cielo/40 GB/s:
+    relative waste and relative I/O pressure at γ·P_Daly. *)
+
+val value : study -> row:string -> col:string -> float option
+(** Lookup for tests. *)
+
+val optimal_periods :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?bandwidths_gbs:float list ->
+  unit ->
+  study
+(** Daly vs Theorem-1-optimal periods under the non-blocking scheduler,
+    across the bandwidth range where the I/O constraint activates. Tests
+    the paper's remark that the optimal periods "may not be achievable":
+    how much of the Daly-vs-bound gap do the KKT periods close in an
+    actual schedule? *)
+
+val two_level :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?soft_fractions:float list ->
+  unit ->
+  study
+(** SCR-style two-level checkpointing (references [9][15]): sweep the
+    soft-failure fraction and compare single-level against two-level waste
+    under the cooperative scheduler, next to the {!Cocheck_core.Two_level}
+    analytic prediction for the EAP class. *)
+
+val fixed_period :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?periods_s:float list ->
+  unit ->
+  study
+(** Sensitivity of the Fixed strategies to the chosen period (the paper's
+    heuristic is "one or a few hours"): sweep the application-defined
+    period and compare the blocking and non-blocking Fixed strategies
+    against the Daly-period reference. *)

@@ -1,0 +1,22 @@
+module Platform = Cocheck_model.Platform
+
+let default_bandwidths_gbs = [ 40.0; 60.0; 80.0; 100.0; 120.0; 140.0; 160.0 ]
+
+let run ~pool ?(bandwidths_gbs = default_bandwidths_gbs) ?(node_mtbf_years = 2.0)
+    ?(reps = 100) ?(seed = 42) ?(days = 60.0) () =
+  let points =
+    List.map
+      (fun b -> (b, Platform.cielo ~bandwidth_gbs:b ~node_mtbf_years ()))
+      bandwidths_gbs
+  in
+  {
+    Figures.id = "fig1";
+    title =
+      Printf.sprintf
+        "Waste ratio vs system bandwidth (Cielo, node MTBF %gy, %d reps, %gd segment)"
+        node_mtbf_years reps days;
+    x_label = "System Aggregated Bandwidth (GB/s)";
+    y_label = "Waste Ratio";
+    log_x = false;
+    series = Sweep.waste_vs ~pool ~points ~reps ~seed ~days ();
+  }

@@ -1,0 +1,18 @@
+(** Figure 1: waste ratio as a function of aggregate filesystem bandwidth
+    (40 → 160 GB/s) for the seven strategies and the theoretical model —
+    LANL APEX workload on Cielo, node MTBF 2 years. *)
+
+val default_bandwidths_gbs : float list
+(** 40, 60, 80, 100, 120, 140, 160 — the paper's x axis. *)
+
+val run :
+  pool:Cocheck_parallel.Pool.t ->
+  ?bandwidths_gbs:float list ->
+  ?node_mtbf_years:float ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  unit ->
+  Figures.t
+(** Defaults: the paper's bandwidths, 2-year node MTBF, 100 replications,
+    seed 42, 60-day segment. *)

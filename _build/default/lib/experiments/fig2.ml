@@ -1,0 +1,22 @@
+module Platform = Cocheck_model.Platform
+
+let default_mtbf_years = [ 2.0; 3.0; 5.0; 10.0; 20.0; 35.0; 50.0 ]
+
+let run ~pool ?(mtbf_years = default_mtbf_years) ?(bandwidth_gbs = 40.0) ?(reps = 100)
+    ?(seed = 42) ?(days = 60.0) () =
+  let points =
+    List.map
+      (fun y -> (y, Platform.cielo ~bandwidth_gbs ~node_mtbf_years:y ()))
+      mtbf_years
+  in
+  {
+    Figures.id = "fig2";
+    title =
+      Printf.sprintf
+        "Waste ratio vs node MTBF (Cielo, %g GB/s, %d reps, %gd segment)" bandwidth_gbs
+        reps days;
+    x_label = "Node MTBF (years)";
+    y_label = "Waste Ratio";
+    log_x = true;
+    series = Sweep.waste_vs ~pool ~points ~reps ~seed ~days ();
+  }

@@ -1,0 +1,16 @@
+(** Figure 2: waste ratio as a function of node MTBF (2 → 50 years) for the
+    seven strategies and the theoretical model — LANL APEX workload on
+    Cielo with a 40 GB/s filesystem. *)
+
+val default_mtbf_years : float list
+(** 2, 3, 5, 10, 20, 35, 50 years — spanning the paper's log-scale axis. *)
+
+val run :
+  pool:Cocheck_parallel.Pool.t ->
+  ?mtbf_years:float list ->
+  ?bandwidth_gbs:float ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  unit ->
+  Figures.t

@@ -1,0 +1,48 @@
+(** Figure 3: minimum aggregate filesystem bandwidth needed to sustain 80 %
+    platform efficiency on the prospective system (50 000 nodes, 7 PB
+    memory), as a function of node MTBF, for the seven strategies and the
+    theoretical model.
+
+    Each point is a log-space bisection over bandwidth; every Monte Carlo
+    probe replicates [reps] simulations, so this is by far the most
+    expensive experiment — the defaults are deliberately modest. *)
+
+val default_mtbf_years : float list
+(** 5, 10, 15, 20, 25 years — the paper's x axis. *)
+
+val min_bandwidth_theoretical :
+  ?classes:Cocheck_model.App_class.t list ->
+  node_mtbf_years:float ->
+  target_efficiency:float ->
+  unit ->
+  float
+(** Smallest bandwidth (GB/s) at which the Theorem 1 bound allows the
+    target efficiency on the prospective system. *)
+
+val min_bandwidth :
+  pool:Cocheck_parallel.Pool.t ->
+  strategy:Cocheck_core.Strategy.t ->
+  node_mtbf_years:float ->
+  target_efficiency:float ->
+  reps:int ->
+  seed:int ->
+  days:float ->
+  ?iters:int ->
+  unit ->
+  float
+(** Simulated search probe for one strategy/MTBF point (GB/s). *)
+
+val run :
+  pool:Cocheck_parallel.Pool.t ->
+  ?mtbf_years:float list ->
+  ?target_efficiency:float ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?iters:int ->
+  ?strategies:Cocheck_core.Strategy.t list ->
+  unit ->
+  Figures.t
+(** Defaults: the paper's MTBF axis, 80 % target, 5 replications per probe,
+    20-day segments, 9 bisection iterations. The y values are reported in
+    TB/s like the paper's axis. *)

@@ -1,0 +1,86 @@
+open Cocheck_util
+
+type point = { x : float; value : float; stats : Stats.candlestick option }
+type series = { label : string; points : point list }
+
+type t = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  log_x : bool;
+  series : series list;
+}
+
+let sim_point ~x (stats : Stats.candlestick) = { x; value = stats.Stats.mean; stats = Some stats }
+let analytic_point ~x value = { x; value; stats = None }
+
+let xs_of t =
+  let all = List.concat_map (fun s -> List.map (fun p -> p.x) s.points) t.series in
+  List.sort_uniq compare all
+
+let to_table t =
+  let headers = t.x_label :: List.map (fun s -> s.label) t.series in
+  let table = Table.create ~headers in
+  List.iter
+    (fun x ->
+      let cell s =
+        match List.find_opt (fun p -> p.x = x) s.points with
+        | None -> "-"
+        | Some { stats = Some c; _ } ->
+            Printf.sprintf "%.3f [%.3f-%.3f]" c.Stats.mean c.Stats.d1 c.Stats.d9
+        | Some { value; _ } -> Printf.sprintf "%.3f" value
+      in
+      Table.add_row table (Printf.sprintf "%g" x :: List.map cell t.series))
+    (xs_of t);
+  table
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,x,mean,d1,q1,median,q3,d9,n\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          match p.stats with
+          | Some c ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%g,%g,%g,%g,%g,%g,%g,%d\n" s.label p.x c.Stats.mean
+                   c.Stats.d1 c.Stats.q1 c.Stats.median c.Stats.q3 c.Stats.d9 c.Stats.n)
+          | None ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%g,%g,,,,,,\n" s.label p.x p.value))
+        s.points)
+    t.series;
+  Buffer.contents buf
+
+let render ?(plot_height = 18) t =
+  let plot_series =
+    List.map
+      (fun s ->
+        {
+          Ascii_plot.label = s.label;
+          points = List.map (fun p -> (p.x, p.value)) s.points;
+        })
+      t.series
+  in
+  let config =
+    {
+      Ascii_plot.default_config with
+      title = Printf.sprintf "%s — %s" (String.uppercase_ascii t.id) t.title;
+      x_label = t.x_label;
+      y_label = t.y_label;
+      log_x = t.log_x;
+      height = plot_height;
+    }
+  in
+  String.concat "\n"
+    [
+      Table.render (to_table t);
+      Ascii_plot.render ~config plot_series;
+    ]
+
+let series_value_at t ~label ~x =
+  List.find_opt (fun s -> s.label = label) t.series
+  |> Fun.flip Option.bind (fun s ->
+         List.find_opt (fun p -> p.x = x) s.points |> Option.map (fun p -> p.value))

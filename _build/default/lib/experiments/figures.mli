@@ -1,0 +1,34 @@
+(** Shared result shapes and rendering for the paper's figures.
+
+    A figure is a set of series over a swept parameter; every simulated
+    point carries its Monte Carlo candlestick, analytic points (the
+    theoretical-model curve) carry only a value. *)
+
+type point = { x : float; value : float; stats : Cocheck_util.Stats.candlestick option }
+
+type series = { label : string; points : point list }
+
+type t = {
+  id : string;  (** e.g. "fig1" *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  log_x : bool;
+  series : series list;
+}
+
+val sim_point : x:float -> Cocheck_util.Stats.candlestick -> point
+val analytic_point : x:float -> float -> point
+
+val to_table : t -> Cocheck_util.Table.t
+(** One row per x value, one column per series (mean, with [d1–d9] range
+    for simulated points). *)
+
+val to_csv : t -> string
+(** Long-format CSV: [series,x,mean,d1,q1,median,q3,d9,n]. *)
+
+val render : ?plot_height:int -> t -> string
+(** Table plus ASCII chart plus caption. *)
+
+val series_value_at : t -> label:string -> x:float -> float option
+(** Mean value of a series at a swept point (tests and crossover checks). *)

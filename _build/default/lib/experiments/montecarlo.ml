@@ -1,0 +1,53 @@
+open Cocheck_util
+module Pool = Cocheck_parallel.Pool
+module Strategy = Cocheck_core.Strategy
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+
+type measurement = {
+  strategy : Strategy.t;
+  ratios : float array;
+  stats : Stats.candlestick;
+}
+
+(* A large odd multiplier spreads replication seeds far apart in the
+   SplitMix expansion space. *)
+let rep_seed ~seed ~rep = seed + (1_000_003 * rep)
+
+let one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
+    ~interference_alpha ~burst_buffer ~multilevel rep =
+  let cfg strategy =
+    Config.make ~platform ?classes ~strategy ~seed:(rep_seed ~seed ~rep) ~days
+      ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
+  in
+  let baseline_cfg = cfg Strategy.Baseline in
+  let specs = Simulator.generate_specs baseline_cfg in
+  let baseline = Simulator.run ~specs baseline_cfg in
+  List.map
+    (fun strategy ->
+      let r = Simulator.run ~specs (cfg strategy) in
+      Simulator.waste_ratio ~strategy:r ~baseline)
+    strategies
+
+let measure ~pool ~platform ?classes ~strategies ~reps ~seed ?(days = 60.0)
+    ?failure_dist ?interference_alpha ?burst_buffer ?multilevel () =
+  if reps <= 0 then invalid_arg "Montecarlo.measure: reps must be positive";
+  let rows =
+    Pool.init_array pool reps
+      (one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
+         ~interference_alpha ~burst_buffer ~multilevel)
+  in
+  List.mapi
+    (fun i strategy ->
+      let ratios = Array.map (fun row -> List.nth row i) rows in
+      { strategy; ratios; stats = Stats.candlestick ratios })
+    strategies
+
+let mean_waste ~pool ~platform ?classes ~strategy ~reps ~seed ?(days = 60.0)
+    ?failure_dist ?interference_alpha ?burst_buffer ?multilevel () =
+  match
+    measure ~pool ~platform ?classes ~strategies:[ strategy ] ~reps ~seed ~days
+      ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
+  with
+  | [ m ] -> m.stats.Stats.mean
+  | _ -> assert false

@@ -1,0 +1,50 @@
+(** Replicated simulation: the paper's Monte Carlo protocol.
+
+    Each replication draws fresh initial conditions (job list and failure
+    trace) from [seed + replication]; all strategies within a replication
+    share the same job list and are normalised by the same failure-free
+    baseline run, and the waste ratios are aggregated across replications
+    into candlestick statistics. *)
+
+type measurement = {
+  strategy : Cocheck_core.Strategy.t;
+  ratios : float array;  (** one waste ratio per replication *)
+  stats : Cocheck_util.Stats.candlestick;
+}
+
+val measure :
+  pool:Cocheck_parallel.Pool.t ->
+  platform:Cocheck_model.Platform.t ->
+  ?classes:Cocheck_model.App_class.t list ->
+  strategies:Cocheck_core.Strategy.t list ->
+  reps:int ->
+  seed:int ->
+  ?days:float ->
+  ?failure_dist:Cocheck_sim.Failure_trace.distribution ->
+  ?interference_alpha:float ->
+  ?burst_buffer:Cocheck_sim.Burst_buffer.spec ->
+  ?multilevel:Cocheck_sim.Config.multilevel ->
+  unit ->
+  measurement list
+(** Run [reps] replications of every strategy (plus the shared baselines)
+    on the pool. [days] is the measurement-segment length (default 60, the
+    paper's; experiments routinely shrink it to trade fidelity for time). *)
+
+val mean_waste :
+  pool:Cocheck_parallel.Pool.t ->
+  platform:Cocheck_model.Platform.t ->
+  ?classes:Cocheck_model.App_class.t list ->
+  strategy:Cocheck_core.Strategy.t ->
+  reps:int ->
+  seed:int ->
+  ?days:float ->
+  ?failure_dist:Cocheck_sim.Failure_trace.distribution ->
+  ?interference_alpha:float ->
+  ?burst_buffer:Cocheck_sim.Burst_buffer.spec ->
+  ?multilevel:Cocheck_sim.Config.multilevel ->
+  unit ->
+  float
+(** Mean waste ratio of a single strategy — the Figure 3 search probe. *)
+
+val rep_seed : seed:int -> rep:int -> int
+(** The derived per-replication seed (exposed for reproducibility tests). *)

@@ -1,0 +1,31 @@
+(** The paper's qualitative claims as executable assertions.
+
+    Absolute waste numbers depend on the substrate (the authors ran a
+    custom C simulator; we run this one), but the {e shape} of the results
+    — which strategy wins, by roughly what factor, where behaviours
+    cross — must hold for the reproduction to be faithful. This module
+    runs a reduced Monte Carlo of the relevant scenarios and checks each
+    claim from Section 6, reporting pass/fail with the measured numbers.
+
+    Used by [simctl check] and by the test suite. *)
+
+type check = {
+  id : string;
+  claim : string;  (** the paper's statement being verified *)
+  passed : bool;
+  detail : string;  (** measured numbers backing the verdict *)
+}
+
+val run :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  unit ->
+  check list
+(** Defaults: 8 replications, 15-day segments — a couple of minutes.
+    Raising [reps]/[days] tightens the Monte Carlo noise the tolerances
+    absorb. *)
+
+val render : check list -> string
+val all_passed : check list -> bool

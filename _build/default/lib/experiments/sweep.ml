@@ -1,0 +1,52 @@
+module Strategy = Cocheck_core.Strategy
+module Waste = Cocheck_core.Waste
+module Lower_bound = Cocheck_core.Lower_bound
+module Platform = Cocheck_model.Platform
+module Apex = Cocheck_model.Apex
+
+let classes_for platform = function
+  | Some cs -> cs
+  | None ->
+      if platform.Platform.name = "Cielo" then Apex.lanl_workload
+      else Apex.scaled_workload ~target:platform
+
+let theoretical_waste ~platform ?classes () =
+  let classes = classes_for platform classes in
+  let counts = Waste.steady_state_counts ~classes ~platform in
+  (Lower_bound.solve_model ~classes:counts ~platform ()).Lower_bound.waste
+
+let waste_vs ~pool ~points ?classes ?(strategies = Strategy.paper_seven) ~reps ~seed
+    ?(days = 60.0) () =
+  let measured =
+    List.map
+      (fun (x, platform) ->
+        ( x,
+          Montecarlo.measure ~pool ~platform
+            ?classes:(Option.map (fun c -> c) classes)
+            ~strategies ~reps ~seed ~days () ))
+      points
+  in
+  let strategy_series strategy =
+    {
+      Figures.label = Strategy.name strategy;
+      points =
+        List.map
+          (fun (x, ms) ->
+            let m =
+              List.find (fun m -> m.Montecarlo.strategy = strategy) ms
+            in
+            Figures.sim_point ~x m.Montecarlo.stats)
+          measured;
+    }
+  in
+  let theoretical =
+    {
+      Figures.label = "Theoretical Model";
+      points =
+        List.map
+          (fun (x, platform) ->
+            Figures.analytic_point ~x (theoretical_waste ~platform ?classes ()))
+          points;
+    }
+  in
+  List.map strategy_series strategies @ [ theoretical ]

@@ -1,0 +1,25 @@
+(** Shared machinery for the waste-ratio sweeps of Figures 1 and 2: for
+    each swept platform configuration, Monte Carlo the seven strategies and
+    evaluate the theoretical lower bound. *)
+
+val theoretical_waste :
+  platform:Cocheck_model.Platform.t ->
+  ?classes:Cocheck_model.App_class.t list ->
+  unit ->
+  float
+(** The Theorem 1 bound for a platform under its steady-state APEX (or
+    given) class mix, with the bandwidth available for CR reduced by the
+    regular-I/O demand. *)
+
+val waste_vs :
+  pool:Cocheck_parallel.Pool.t ->
+  points:(float * Cocheck_model.Platform.t) list ->
+  ?classes:Cocheck_model.App_class.t list ->
+  ?strategies:Cocheck_core.Strategy.t list ->
+  reps:int ->
+  seed:int ->
+  ?days:float ->
+  unit ->
+  Figures.series list
+(** One series per strategy (defaulting to the paper's seven) plus the
+    "Theoretical Model" series, over the [(x, platform)] sweep. *)

@@ -1,0 +1,49 @@
+open Cocheck_util
+module App_class = Cocheck_model.App_class
+module Apex = Cocheck_model.Apex
+module Platform = Cocheck_model.Platform
+module Daly = Cocheck_core.Daly
+module Waste = Cocheck_core.Waste
+
+let workload = Apex.table1
+
+let derived ?(platform = Platform.cielo ()) () =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "Workflow";
+          "Nodes";
+          "Memory";
+          "Ckpt size";
+          "C_i (s)";
+          "MTBF_i (h)";
+          "Daly period (h)";
+          "n_i (steady)";
+        ]
+  in
+  let counts = Waste.steady_state_counts ~classes:Apex.lanl_workload ~platform in
+  List.iter
+    (fun (n, (c : App_class.t)) ->
+      Table.add_row t
+        [
+          c.name;
+          string_of_int c.nodes;
+          Format.asprintf "%a" Units.pp_bytes (App_class.memory_gb c ~platform);
+          Format.asprintf "%a" Units.pp_bytes (App_class.ckpt_gb c ~platform);
+          Printf.sprintf "%.0f" (App_class.ckpt_time c ~platform);
+          Printf.sprintf "%.2f" (Units.to_hours (App_class.mtbf c ~platform));
+          Printf.sprintf "%.2f" (Units.to_hours (Daly.period_for c ~platform));
+          Printf.sprintf "%.2f" n;
+        ])
+    counts;
+  t
+
+let render ?platform () =
+  String.concat "\n"
+    [
+      "Table 1 — LANL workflow workload (APEX Workflows report):";
+      Table.render workload;
+      "Derived checkpointing parameters:";
+      Table.render (derived ?platform ());
+    ]

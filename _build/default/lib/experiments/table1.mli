@@ -1,0 +1,13 @@
+(** Table 1: the LANL APEX workload characteristics, plus the derived
+    per-class checkpointing parameters the simulation runs on (checkpoint
+    volume, commit time and Daly period on Cielo). *)
+
+val workload : Cocheck_util.Table.t
+(** Table 1 verbatim. *)
+
+val derived : ?platform:Cocheck_model.Platform.t -> unit -> Cocheck_util.Table.t
+(** Per-class derived quantities on the given platform (default Cielo at
+    160 GB/s): memory footprint, checkpoint size, C_i, µ_i, Daly period and
+    steady-state concurrent job count. *)
+
+val render : ?platform:Cocheck_model.Platform.t -> unit -> string

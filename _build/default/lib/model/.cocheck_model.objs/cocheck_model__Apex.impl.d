@@ -1,0 +1,1 @@
+lib/model/apex.ml: App_class Cocheck_util List Platform Printf Table Units

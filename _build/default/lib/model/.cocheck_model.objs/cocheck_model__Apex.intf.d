@@ -1,0 +1,1 @@
+lib/model/apex.mli: App_class Cocheck_util Platform

@@ -1,0 +1,1 @@
+lib/model/app_class.ml: Cocheck_util Float Format Platform

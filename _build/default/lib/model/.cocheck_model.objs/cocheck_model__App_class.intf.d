@@ -1,0 +1,1 @@
+lib/model/app_class.mli: Format Platform

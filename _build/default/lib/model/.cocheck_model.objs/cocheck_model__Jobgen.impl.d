@@ -1,0 +1,1 @@
+lib/model/jobgen.ml: App_class Array Cocheck_util Dist Float Fun Platform Printf Rng

@@ -1,0 +1,1 @@
+lib/model/jobgen.mli: App_class Cocheck_util Platform

@@ -1,0 +1,1 @@
+lib/model/platform.ml: Cocheck_util Format

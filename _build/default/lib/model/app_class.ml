@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  workload_pct : float;
+  walltime_s : float;
+  nodes : int;
+  input_pct : float;
+  output_pct : float;
+  ckpt_pct : float;
+  steady_io_gb : float;
+}
+
+let make ~name ~workload_pct ~walltime_s ~nodes ~input_pct ~output_pct ~ckpt_pct
+    ?(steady_io_gb = 0.0) () =
+  if workload_pct <= 0.0 || workload_pct > 100.0 then
+    invalid_arg "App_class.make: workload_pct outside (0, 100]";
+  if walltime_s <= 0.0 then invalid_arg "App_class.make: walltime must be positive";
+  if nodes <= 0 then invalid_arg "App_class.make: nodes must be positive";
+  if input_pct < 0.0 || output_pct < 0.0 || ckpt_pct <= 0.0 then
+    invalid_arg "App_class.make: negative I/O percentage";
+  if steady_io_gb < 0.0 then invalid_arg "App_class.make: negative steady I/O";
+  { name; workload_pct; walltime_s; nodes; input_pct; output_pct; ckpt_pct; steady_io_gb }
+
+let memory_gb t ~platform = float_of_int t.nodes *. platform.Platform.mem_per_node_gb
+let input_gb t ~platform = memory_gb t ~platform *. t.input_pct /. 100.0
+let output_gb t ~platform = memory_gb t ~platform *. t.output_pct /. 100.0
+let ckpt_gb t ~platform = memory_gb t ~platform *. t.ckpt_pct /. 100.0
+let ckpt_time t ~platform = ckpt_gb t ~platform /. platform.Platform.bandwidth_gbs
+let recovery_time t ~platform = ckpt_time t ~platform
+let mtbf t ~platform = platform.Platform.node_mtbf_s /. float_of_int t.nodes
+
+let scale_nodes t ~factor =
+  if factor <= 0.0 then invalid_arg "App_class.scale_nodes: factor must be positive";
+  { t with nodes = max 1 (int_of_float (Float.round (float_of_int t.nodes *. factor))) }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %.1f%% of platform, %d nodes, walltime %a, input %.0f%%, output %.0f%%, ckpt %.0f%% of memory"
+    t.name t.workload_pct t.nodes Cocheck_util.Units.pp_duration t.walltime_s t.input_pct
+    t.output_pct t.ckpt_pct

@@ -1,0 +1,52 @@
+(** Application classes (the paper's A_i): sets of jobs with the same size,
+    duration, memory footprint and I/O needs. Sizes are expressed as the
+    APEX convention — percentages of the job's memory footprint, the
+    footprint being the memory of its allocated nodes. *)
+
+type t = {
+  name : string;
+  workload_pct : float;  (** share of platform node-seconds this class targets *)
+  walltime_s : float;  (** typical failure-free work duration, w *)
+  nodes : int;  (** nodes per job, q_i *)
+  input_pct : float;  (** initial input, % of memory footprint *)
+  output_pct : float;  (** final output, % of memory footprint *)
+  ckpt_pct : float;  (** checkpoint size, % of memory footprint *)
+  steady_io_gb : float;  (** regular I/O volume spread over the makespan
+                             (Section 2 assumption); 0 for the APEX classes
+                             whose regular I/O is the input/output pair *)
+}
+
+val make :
+  name:string ->
+  workload_pct:float ->
+  walltime_s:float ->
+  nodes:int ->
+  input_pct:float ->
+  output_pct:float ->
+  ckpt_pct:float ->
+  ?steady_io_gb:float ->
+  unit ->
+  t
+(** Validating constructor. *)
+
+val memory_gb : t -> platform:Platform.t -> float
+(** Memory footprint: q_i nodes × per-node memory. *)
+
+val input_gb : t -> platform:Platform.t -> float
+val output_gb : t -> platform:Platform.t -> float
+val ckpt_gb : t -> platform:Platform.t -> float
+
+val ckpt_time : t -> platform:Platform.t -> float
+(** C_i: interference-free commit time at full aggregate bandwidth. *)
+
+val recovery_time : t -> platform:Platform.t -> float
+(** R_i; the paper assumes symmetric read/write bandwidth so R_i = C_i. *)
+
+val mtbf : t -> platform:Platform.t -> float
+(** µ_i = µ_ind / q_i: MTBF experienced by a job of this class. *)
+
+val scale_nodes : t -> factor:float -> t
+(** Scale the per-job node count (problem-size scaling for the prospective
+    system); at least one node. *)
+
+val pp : Format.formatter -> t -> unit

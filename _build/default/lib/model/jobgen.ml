@@ -1,0 +1,109 @@
+open Cocheck_util
+
+type spec = {
+  id : int;
+  class_index : int;
+  class_name : string;
+  nodes : int;
+  work_s : float;
+  input_gb : float;
+  output_gb : float;
+  ckpt_gb : float;
+  steady_io_gb : float;
+}
+
+let node_seconds s = float_of_int s.nodes *. s.work_s
+
+let spec_of_class ~rng ~platform ~id ~class_index (c : App_class.t) =
+  let work_s = Dist.uniform rng ~lo:(0.8 *. c.walltime_s) ~hi:(1.2 *. c.walltime_s) in
+  {
+    id;
+    class_index;
+    class_name = c.name;
+    nodes = c.nodes;
+    work_s;
+    input_gb = App_class.input_gb c ~platform;
+    output_gb = App_class.output_gb c ~platform;
+    ckpt_gb = App_class.ckpt_gb c ~platform;
+    steady_io_gb = c.steady_io_gb;
+  }
+
+let class_shares specs ~nclasses =
+  let per_class = Array.make nclasses 0.0 in
+  let total = ref 0.0 in
+  Array.iter
+    (fun s ->
+      let ns = node_seconds s in
+      per_class.(s.class_index) <- per_class.(s.class_index) +. ns;
+      total := !total +. ns)
+    specs;
+  if !total = 0.0 then per_class
+  else Array.map (fun ns -> 100.0 *. ns /. !total) per_class
+
+let generate ~rng ~platform ~classes ~min_duration_s ?(fill_factor = 1.15)
+    ?(tolerance_pct = 1.0) () =
+  if classes = [] then invalid_arg "Jobgen.generate: no classes";
+  if min_duration_s <= 0.0 then invalid_arg "Jobgen.generate: non-positive duration";
+  let classes = Array.of_list classes in
+  let nclasses = Array.length classes in
+  Array.iter
+    (fun (c : App_class.t) ->
+      if c.nodes > platform.Platform.nodes then
+        invalid_arg
+          (Printf.sprintf "Jobgen.generate: class %s needs %d nodes but platform has %d"
+             c.name c.nodes platform.Platform.nodes))
+    classes;
+  let target_total = fill_factor *. float_of_int platform.Platform.nodes *. min_duration_s in
+  let used = Array.make nclasses 0.0 in
+  let total = ref 0.0 in
+  let specs = ref [] in
+  let next_id = ref 0 in
+  let add class_index =
+    let s =
+      spec_of_class ~rng ~platform ~id:!next_id ~class_index classes.(class_index)
+    in
+    incr next_id;
+    specs := s :: !specs;
+    let ns = node_seconds s in
+    used.(class_index) <- used.(class_index) +. ns;
+    total := !total +. ns
+  in
+  (* Draw the class with probability proportional to its node-second deficit
+     vs target share, so shares converge as the list grows. *)
+  let pick_deficient () =
+    let deficits =
+      Array.mapi
+        (fun i (c : App_class.t) ->
+          Float.max 1e-9 ((c.workload_pct /. 100.0 *. Float.max !total 1.0) -. used.(i)))
+        classes
+    in
+    let sum = Array.fold_left ( +. ) 0.0 deficits in
+    let x = Rng.float rng sum in
+    let rec find i acc =
+      if i >= nclasses - 1 then i
+      else
+        let acc = acc +. deficits.(i) in
+        if x < acc then i else find (i + 1) acc
+    in
+    find 0 0.0
+  in
+  let shares_ok () =
+    !total > 0.0
+    && Array.for_all Fun.id
+         (Array.mapi
+            (fun i (c : App_class.t) ->
+              Float.abs ((100.0 *. used.(i) /. !total) -. c.workload_pct)
+              <= tolerance_pct)
+            classes)
+  in
+  let max_iter = 1_000_000 in
+  let iter = ref 0 in
+  while ((!total < target_total) || not (shares_ok ())) && !iter < max_iter do
+    add (pick_deficient ());
+    incr iter
+  done;
+  if !iter >= max_iter then failwith "Jobgen.generate: share convergence budget exhausted";
+  let arr = Array.of_list !specs in
+  Rng.shuffle rng arr;
+  (* Re-number so id equals arrival order after the shuffle. *)
+  Array.mapi (fun i s -> { s with id = i }) arr

@@ -1,0 +1,44 @@
+(** Random instantiation of a job list from application classes, following
+    the paper's Section 5 protocol: jobs are drawn class by class, each with
+    a work duration uniform in [0.8 w, 1.2 w], until (1) the total work would
+    keep the platform busy for at least the requested span and (2) each
+    class's share of the generated node-seconds is within 1 percentage point
+    of its target workload share. The final list is shuffled; list order is
+    the scheduler's arrival/priority order. *)
+
+type spec = {
+  id : int;
+  class_index : int;  (** index into the class list used for generation *)
+  class_name : string;
+  nodes : int;
+  work_s : float;  (** failure-free compute time of this instance *)
+  input_gb : float;
+  output_gb : float;
+  ckpt_gb : float;
+  steady_io_gb : float;
+}
+(** One job instance. All I/O volumes are precomputed from the class and the
+    platform memory at generation time. *)
+
+val node_seconds : spec -> float
+(** [nodes × work_s], the resource-accounting unit for workload shares. *)
+
+val generate :
+  rng:Cocheck_util.Rng.t ->
+  platform:Platform.t ->
+  classes:App_class.t list ->
+  min_duration_s:float ->
+  ?fill_factor:float ->
+  ?tolerance_pct:float ->
+  unit ->
+  spec array
+(** Generate a shuffled job list. [fill_factor] (default 1.15) scales the
+    node-seconds target [fill_factor × N × min_duration_s] so the platform
+    stays saturated beyond the measurement segment. [tolerance_pct] is the
+    per-class share tolerance in percentage points (default 1.0, the paper's
+    value). Raises [Invalid_argument] if a class needs more nodes than the
+    platform has, or [Failure] if shares cannot converge within an iteration
+    budget. *)
+
+val class_shares : spec array -> nclasses:int -> float array
+(** Realised share (in %) of node-seconds per class index. *)

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  nodes : int;
+  mem_per_node_gb : float;
+  bandwidth_gbs : float;
+  node_mtbf_s : float;
+}
+
+let make ~name ~nodes ~mem_per_node_gb ~bandwidth_gbs ~node_mtbf_s =
+  if nodes <= 0 then invalid_arg "Platform.make: nodes must be positive";
+  if mem_per_node_gb <= 0.0 then invalid_arg "Platform.make: memory must be positive";
+  if bandwidth_gbs <= 0.0 then invalid_arg "Platform.make: bandwidth must be positive";
+  if node_mtbf_s <= 0.0 then invalid_arg "Platform.make: MTBF must be positive";
+  { name; nodes; mem_per_node_gb; bandwidth_gbs; node_mtbf_s }
+
+let cielo ?(bandwidth_gbs = 160.0) ?(node_mtbf_years = 2.0) () =
+  let nodes = 17_888 in
+  make ~name:"Cielo" ~nodes
+    ~mem_per_node_gb:(Cocheck_util.Units.tb 286.0 /. float_of_int nodes)
+    ~bandwidth_gbs
+    ~node_mtbf_s:(Cocheck_util.Units.years node_mtbf_years)
+
+let prospective ?(bandwidth_gbs = 1000.0) ?(node_mtbf_years = 15.0) () =
+  let nodes = 50_000 in
+  make ~name:"Prospective" ~nodes
+    ~mem_per_node_gb:(Cocheck_util.Units.pb 7.0 /. float_of_int nodes)
+    ~bandwidth_gbs
+    ~node_mtbf_s:(Cocheck_util.Units.years node_mtbf_years)
+
+let system_mtbf t = t.node_mtbf_s /. float_of_int t.nodes
+let total_memory_gb t = float_of_int t.nodes *. t.mem_per_node_gb
+let with_bandwidth t bandwidth_gbs = { t with bandwidth_gbs }
+let with_node_mtbf t node_mtbf_s = { t with node_mtbf_s }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d nodes, %a memory, %.0f GB/s PFS, node MTBF %a (system %a)"
+    t.name t.nodes Cocheck_util.Units.pp_bytes (total_memory_gb t) t.bandwidth_gbs
+    Cocheck_util.Units.pp_duration t.node_mtbf_s Cocheck_util.Units.pp_duration
+    (system_mtbf t)

@@ -1,0 +1,48 @@
+(** Shared-platform description: space-shared compute nodes, a time-shared
+    parallel file system of aggregate bandwidth [bandwidth_gbs], and node
+    MTBF [node_mtbf_s] (the paper's µ_ind).
+
+    Includes the two machines of the paper's evaluation:
+    {ul
+    {- {b Cielo} (LANL, 1.37 PF): 286 TB memory, 160 GB/s PFS. The paper's
+       own arithmetic (node MTBF 2 y ↔ system MTBF 1 h; 50 y ↔ 24 h) implies
+       N ≈ 17 500 nodes, i.e. Table 1 "cores" at 8 cores per scheduling node;
+       we use N = 17 888 = 143 104 / 8.}
+    {- the {b prospective} system of Section 6.2: 50 000 nodes, 7 PB memory
+       (Aurora-class), bandwidth left as the swept parameter.}} *)
+
+type t = {
+  name : string;
+  nodes : int;  (** total compute nodes, the paper's N *)
+  mem_per_node_gb : float;
+  bandwidth_gbs : float;  (** aggregate PFS bandwidth, β_tot *)
+  node_mtbf_s : float;  (** individual node MTBF, µ_ind *)
+}
+
+val make :
+  name:string ->
+  nodes:int ->
+  mem_per_node_gb:float ->
+  bandwidth_gbs:float ->
+  node_mtbf_s:float ->
+  t
+(** Validating constructor; raises [Invalid_argument] on non-positive
+    dimensions. *)
+
+val cielo : ?bandwidth_gbs:float -> ?node_mtbf_years:float -> unit -> t
+(** Cielo preset: 17 888 nodes, 286 TB total memory. Defaults: 160 GB/s,
+    2-year node MTBF. *)
+
+val prospective : ?bandwidth_gbs:float -> ?node_mtbf_years:float -> unit -> t
+(** Prospective system of Section 6.2: 50 000 nodes, 7 PB memory. Defaults:
+    1 TB/s, 15-year node MTBF. *)
+
+val system_mtbf : t -> float
+(** µ = µ_ind / N: mean time between failures anywhere on the platform. *)
+
+val total_memory_gb : t -> float
+
+val with_bandwidth : t -> float -> t
+val with_node_mtbf : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  queue : task Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      else if pool.shutting_down then None
+      else begin
+        Condition.wait pool.has_work pool.mutex;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock pool.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        job ();
+        next ()
+  in
+  next ()
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n ->
+        if n < 0 then invalid_arg "Pool.create: negative domain count";
+        n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let num_workers t = List.length t.workers
+
+let resolve fut result =
+  Mutex.lock fut.fmutex;
+  fut.state <- result;
+  Condition.broadcast fut.fdone;
+  Mutex.unlock fut.fmutex
+
+let async t f =
+  let fut = { fmutex = Mutex.create (); fdone = Condition.create (); state = Pending } in
+  let run () =
+    match f () with
+    | v -> resolve fut (Done v)
+    | exception exn -> resolve fut (Failed exn)
+  in
+  Mutex.lock t.mutex;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  if t.workers = [] then begin
+    (* Sequential pool: run inline, outside the lock. *)
+    Mutex.unlock t.mutex;
+    run ()
+  end
+  else begin
+    Queue.push run t.queue;
+    Condition.signal t.has_work;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fmutex;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fdone fut.fmutex;
+        wait ()
+    | Done v ->
+        Mutex.unlock fut.fmutex;
+        v
+    | Failed exn ->
+        Mutex.unlock fut.fmutex;
+        raise exn
+  in
+  wait ()
+
+let init_array t n f =
+  if n < 0 then invalid_arg "Pool.init_array: negative length";
+  if n = 0 then [||]
+  else if t.workers = [] then Array.init n f
+  else begin
+    (* One future per element: simulation tasks are coarse enough that
+       per-task queue overhead is negligible, and uneven task costs then
+       balance naturally. *)
+    let futures = Array.init n (fun i -> async t (fun () -> f i)) in
+    Array.map await futures
+  end
+
+let map_array t f xs = init_array t (Array.length xs) (fun i -> f xs.(i))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?num_domains f =
+  let pool = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,45 @@
+(** A fixed-size pool of worker domains with a shared FIFO task queue.
+
+    Monte Carlo replication is embarrassingly parallel: thousands of
+    independent simulations per configuration. The sealed container has no
+    domainslib, so this is a small hand-rolled pool over [Domain.t] with a
+    [Mutex]/[Condition]-protected queue.
+
+    Determinism note: tasks must not share mutable state; each simulation
+    derives its randomness from [(seed, replication index)], so results are
+    identical whatever the domain interleaving. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns that many worker domains (default
+    [Domain.recommended_domain_count () - 1], at least 1).
+    [num_domains = 0] builds a {e sequential} pool: every submission runs
+    inline on the caller, which is useful for reproducible unit tests and
+    for nesting (pools must not be used from inside their own tasks). *)
+
+val num_workers : t -> int
+(** Worker domain count; [0] for a sequential pool. *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Submit a task; returns immediately (sequential pools run it inline). *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes. Re-raises the task's exception, if any.
+    May be called at most once per future from one caller. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], preserving order. Exceptions from tasks are
+    re-raised after all tasks complete. *)
+
+val init_array : t -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val shutdown : t -> unit
+(** Join all workers. Outstanding tasks are completed first. Idempotent.
+    Submitting after shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut the pool down. *)

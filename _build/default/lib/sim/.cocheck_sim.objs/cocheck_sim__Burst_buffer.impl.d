@@ -1,0 +1,1 @@
+lib/sim/burst_buffer.ml: Hashtbl Io_subsystem List Queue

@@ -1,0 +1,1 @@
+lib/sim/burst_buffer.mli: Cocheck_des Io_subsystem Metrics

@@ -1,0 +1,1 @@
+lib/sim/config.ml: Apex App_class Burst_buffer Cocheck_core Cocheck_model Cocheck_util Failure_trace Option Platform

@@ -1,0 +1,1 @@
+lib/sim/config.mli: Burst_buffer Cocheck_core Cocheck_model Failure_trace

@@ -1,0 +1,1 @@
+lib/sim/failure_trace.ml: Cocheck_util Dist Float Numerics Printf Rng

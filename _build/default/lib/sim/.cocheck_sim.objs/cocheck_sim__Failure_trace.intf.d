@@ -1,0 +1,1 @@
+lib/sim/failure_trace.mli: Cocheck_util

@@ -1,0 +1,1 @@
+lib/sim/io_subsystem.ml: Cocheck_des Float List Metrics

@@ -1,0 +1,1 @@
+lib/sim/io_subsystem.mli: Cocheck_des Metrics

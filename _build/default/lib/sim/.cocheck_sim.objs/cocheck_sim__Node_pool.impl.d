@@ -1,0 +1,1 @@
+lib/sim/node_pool.ml: Array

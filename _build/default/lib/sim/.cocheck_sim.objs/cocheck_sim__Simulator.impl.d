@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Burst_buffer Cocheck_core Cocheck_des Cocheck_model Cocheck_util Config Failure_trace Float Hashtbl Io_subsystem Lazy List Metrics Node_pool Option Queue Rng Stats Trace

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Cocheck_model Config Metrics Trace

@@ -1,0 +1,80 @@
+(** A burst-buffer tier in front of the parallel file system — the paper's
+    Section 8 extension ("As burst-buffers and other NVRAM storage
+    mechanisms become more common, a natural extension of this work would
+    consider their impact on I/O contention/interference").
+
+    Model: a fast absorbing tier of limited capacity. Checkpoints whose
+    size fits in the free capacity commit at burst-buffer speed (its own
+    bandwidth pool, linear sharing among concurrent writers) and then
+    {e drain} to the PFS in the background, one at a time, as
+    {!Io_subsystem.Drain} flows that contend with foreground PFS traffic
+    but hold no compute nodes. Capacity is reserved when a write starts
+    and released when its drain completes. A job whose newest committed
+    checkpoint is still in the buffer recovers at burst-buffer speed;
+    otherwise it recovers from the PFS.
+
+    The simulator consults {!fits} when a checkpoint starts: full buffers
+    spill the commit to the regular PFS path of the active strategy. *)
+
+type spec = { capacity_gb : float; bandwidth_gbs : float }
+
+val spec_validate : spec -> unit
+
+type t
+
+val create :
+  engine:Cocheck_des.Engine.t ->
+  metrics:Metrics.t ->
+  pfs:Io_subsystem.t ->
+  spec ->
+  t
+
+val fits : t -> volume_gb:float -> bool
+(** Whether a write of this size can be absorbed right now. *)
+
+val write :
+  t ->
+  owner:int ->
+  job:int ->
+  nodes:int ->
+  volume_gb:float ->
+  on_complete:(unit -> unit) ->
+  Io_subsystem.flow
+(** Start a checkpoint write into the buffer. [owner] is the stable job
+    identity (survives restarts — the spec id), [job] the running instance.
+    Reserves capacity immediately; raises [Invalid_argument] if it does not
+    fit ({!fits} must be checked first). On completion the checkpoint
+    becomes the owner's newest resident copy and a background drain is
+    queued. *)
+
+val abort_write : t -> Io_subsystem.flow -> unit
+(** Cancel an in-flight write (job killed): the transfer stops, the
+    reservation is released, nothing becomes resident. No-op on flows this
+    buffer does not know. *)
+
+val resident_for : t -> owner:int -> bool
+(** Whether the owner's newest committed checkpoint is still in the buffer
+    (resident or draining), i.e. recovery can read at buffer speed. *)
+
+val read :
+  t ->
+  owner:int ->
+  job:int ->
+  nodes:int ->
+  volume_gb:float ->
+  on_complete:(unit -> unit) ->
+  Io_subsystem.flow
+(** Recovery read at buffer speed. Requires {!resident_for}. *)
+
+val io : t -> Io_subsystem.t
+(** The buffer's internal bandwidth pool (for aborting its flows). *)
+
+val used_gb : t -> float
+val free_gb : t -> float
+val drains_pending : t -> int
+val writes_absorbed : t -> int
+val writes_spilled : t -> int
+
+val note_spill : t -> unit
+(** Called by the simulator when a checkpoint had to bypass the buffer, so
+    {!writes_spilled} reflects the spill rate. *)

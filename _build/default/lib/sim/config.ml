@@ -1,0 +1,80 @@
+open Cocheck_model
+
+type t = {
+  platform : Platform.t;
+  classes : App_class.t list;
+  strategy : Cocheck_core.Strategy.t;
+  seed : int;
+  min_duration_s : float;
+  seg_start : float;
+  seg_end : float;
+  horizon : float;
+  fill_factor : float;
+  with_failures : bool;
+  failure_dist : Failure_trace.distribution;
+  interference_alpha : float;
+  burst_buffer : Burst_buffer.spec option;
+  multilevel : multilevel option;
+}
+
+and multilevel = {
+  local_period_s : float;
+  local_cost_s : float;
+  local_recovery_s : float;
+  soft_fraction : float;
+}
+
+let validate t =
+  if t.classes = [] then invalid_arg "Config: no application classes";
+  if t.seg_start < 0.0 || t.seg_start > t.seg_end then invalid_arg "Config: bad segment";
+  if t.horizon < t.seg_end then invalid_arg "Config: horizon before segment end";
+  if t.min_duration_s <= 0.0 then invalid_arg "Config: non-positive duration";
+  if t.fill_factor < 1.0 then invalid_arg "Config: fill factor below 1";
+  if t.interference_alpha < 0.0 then invalid_arg "Config: negative interference alpha";
+  Option.iter Burst_buffer.spec_validate t.burst_buffer;
+  Option.iter
+    (fun m ->
+      if m.local_period_s <= 0.0 then invalid_arg "Config: local period must be positive";
+      if m.local_cost_s < 0.0 || m.local_recovery_s < 0.0 then
+        invalid_arg "Config: negative local checkpoint cost";
+      if m.soft_fraction < 0.0 || m.soft_fraction > 1.0 then
+        invalid_arg "Config: soft fraction outside [0, 1]")
+    t.multilevel
+
+let make ~platform ?classes ~strategy ?(seed = 42) ?(days = 60.0) ?(fill_factor = 1.15)
+    ?(with_failures = true) ?(failure_dist = Failure_trace.Exponential)
+    ?(interference_alpha = 0.0) ?burst_buffer ?multilevel () =
+  let day = Cocheck_util.Units.day in
+  let classes =
+    match classes with
+    | Some cs -> cs
+    | None ->
+        if platform.Platform.name = "Cielo" then Apex.lanl_workload
+        else Apex.scaled_workload ~target:platform
+  in
+  let with_failures =
+    match strategy with Cocheck_core.Strategy.Baseline -> false | _ -> with_failures
+  in
+  let t =
+    {
+      platform;
+      classes;
+      strategy;
+      seed;
+      min_duration_s = (days +. 2.0) *. day;
+      seg_start = 1.0 *. day;
+      seg_end = (days +. 1.0) *. day;
+      horizon = (days +. 2.0) *. day;
+      fill_factor;
+      with_failures;
+      failure_dist;
+      interference_alpha;
+      burst_buffer;
+      multilevel;
+    }
+  in
+  validate t;
+  t
+
+let baseline_of t =
+  { t with strategy = Cocheck_core.Strategy.Baseline; with_failures = false }

@@ -1,0 +1,65 @@
+(** Scenario configuration for one simulation run. *)
+
+type t = {
+  platform : Cocheck_model.Platform.t;
+  classes : Cocheck_model.App_class.t list;
+  strategy : Cocheck_core.Strategy.t;
+  seed : int;  (** root seed; jobs and failures draw from substreams *)
+  min_duration_s : float;  (** workload span to generate (Section 5: 60 days + margins) *)
+  seg_start : float;  (** measurement segment start (paper: after day 1) *)
+  seg_end : float;  (** measurement segment end *)
+  horizon : float;  (** hard simulation stop *)
+  fill_factor : float;  (** workload node-second oversubscription, see {!Cocheck_model.Jobgen} *)
+  with_failures : bool;
+  failure_dist : Failure_trace.distribution;
+      (** inter-arrival law for failures; the paper uses {!Failure_trace.Exponential} *)
+  interference_alpha : float;
+      (** 0 gives the paper's linear interference; larger values erode the
+          aggregate bandwidth under contention (footnote 2's adversarial
+          model), see {!Io_subsystem} *)
+  burst_buffer : Burst_buffer.spec option;
+      (** when set, checkpoints that fit commit to a burst buffer and drain
+          to the PFS in the background (the Section 8 extension) *)
+  multilevel : multilevel option;
+      (** when set, jobs additionally take cheap node-local checkpoints
+          that survive {e soft} failures (SCR/FTI-style two-level
+          checkpointing, references [9][15]; see
+          {!Cocheck_core.Two_level} for the analytic model) *)
+}
+
+and multilevel = {
+  local_period_s : float;  (** time between local snapshots *)
+  local_cost_s : float;  (** compute pause per snapshot, no PFS traffic *)
+  local_recovery_s : float;  (** restart delay after a soft failure *)
+  soft_fraction : float;
+      (** probability a failure is soft (recoverable from node-local
+          state); the remainder are node losses recovering from the PFS *)
+}
+
+val make :
+  platform:Cocheck_model.Platform.t ->
+  ?classes:Cocheck_model.App_class.t list ->
+  strategy:Cocheck_core.Strategy.t ->
+  ?seed:int ->
+  ?days:float ->
+  ?fill_factor:float ->
+  ?with_failures:bool ->
+  ?failure_dist:Failure_trace.distribution ->
+  ?interference_alpha:float ->
+  ?burst_buffer:Burst_buffer.spec ->
+  ?multilevel:multilevel ->
+  unit ->
+  t
+(** Build a paper-style configuration: a [days]-long measurement segment
+    (default 60) preceded and followed by one excluded day, so
+    [min_duration_s = days + 2] days, [seg_start = 1] day,
+    [seg_end = days + 1] days, [horizon = days + 2] days. [classes]
+    defaults to the APEX LANL workload scaled to the platform.
+    The Baseline strategy forces [with_failures = false]. *)
+
+val baseline_of : t -> t
+(** The same scenario under the Baseline strategy (no failures, no
+    checkpoints, no interference) — the waste-ratio denominator run. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent segments/horizons. *)

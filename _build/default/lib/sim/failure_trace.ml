@@ -1,0 +1,82 @@
+open Cocheck_util
+
+type distribution =
+  | Exponential
+  | Weibull of { shape : float }
+  | Lognormal of { sigma : float }
+
+let distribution_name = function
+  | Exponential -> "exponential"
+  | Weibull { shape } -> Printf.sprintf "weibull(%g)" shape
+  | Lognormal { sigma } -> Printf.sprintf "lognormal(%g)" sigma
+
+type event = { time : float; node : int }
+
+type t = {
+  rng : Rng.t;
+  nodes : int;
+  node_mtbf_s : float;
+  draw_gap : Rng.t -> float;
+  mutable clock : float;
+  mutable lookahead : event option;
+  mutable count : int;
+}
+
+(* Mean-matched inter-arrival samplers: each has expectation
+   [node_mtbf_s / nodes]. *)
+let gap_sampler ~nodes ~node_mtbf_s = function
+  | Exponential ->
+      let mean = node_mtbf_s /. float_of_int nodes in
+      fun rng -> Dist.exponential rng ~mean
+  | Weibull { shape } ->
+      if shape <= 0.0 then invalid_arg "Failure_trace: Weibull shape must be positive";
+      let mean = node_mtbf_s /. float_of_int nodes in
+      (* E[Weibull(scale, k)] = scale * Gamma(1 + 1/k). *)
+      let scale = mean /. Numerics.gamma (1.0 +. (1.0 /. shape)) in
+      fun rng -> Dist.weibull rng ~scale ~shape
+  | Lognormal { sigma } ->
+      if sigma < 0.0 then invalid_arg "Failure_trace: Lognormal sigma must be non-negative";
+      let mean = node_mtbf_s /. float_of_int nodes in
+      (* E[LogN(mu, sigma)] = exp(mu + sigma^2/2). *)
+      let mu = log mean -. (sigma *. sigma /. 2.0) in
+      fun rng -> Dist.lognormal rng ~mu ~sigma
+
+let create ~rng ~nodes ~node_mtbf_s ?(distribution = Exponential) () =
+  if nodes <= 0 then invalid_arg "Failure_trace.create: nodes must be positive";
+  if node_mtbf_s <= 0.0 then invalid_arg "Failure_trace.create: MTBF must be positive";
+  {
+    rng;
+    nodes;
+    node_mtbf_s;
+    draw_gap = gap_sampler ~nodes ~node_mtbf_s distribution;
+    clock = 0.0;
+    lookahead = None;
+    count = 0;
+  }
+
+let draw t =
+  let dt = t.draw_gap t.rng in
+  let time = t.clock +. Float.max dt 1e-9 in
+  t.clock <- time;
+  { time; node = Rng.int t.rng t.nodes }
+
+let next t =
+  match t.lookahead with
+  | Some e ->
+      t.lookahead <- None;
+      t.count <- t.count + 1;
+      e
+  | None ->
+      t.count <- t.count + 1;
+      draw t
+
+let peek_time t =
+  match t.lookahead with
+  | Some e -> e.time
+  | None ->
+      let e = draw t in
+      t.lookahead <- Some e;
+      e.time
+
+let generated t = t.count
+let system_mtbf t = t.node_mtbf_s /. float_of_int t.nodes

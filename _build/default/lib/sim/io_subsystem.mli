@@ -1,0 +1,72 @@
+(** The time-shared parallel file system.
+
+    Flows (input, output, checkpoint, recovery transfers) draw from one
+    aggregate bandwidth pool. Three sharing disciplines cover the paper's
+    needs:
+    {ul
+    {- [`Linear]: the paper's linear interference model — concurrent flows
+       split the aggregate bandwidth proportionally to the node count of
+       their jobs. Used by the Oblivious strategies; token strategies also
+       run on it, trivially, since they keep at most one flow active.}
+    {- [`Degraded alpha]: the "more adversarial interference model" of the
+       paper's footnote 2 — with [k] concurrent flows the aggregate
+       throughput itself drops to [beta / (1 + alpha (k - 1))] before being
+       split proportionally, modelling the super-linear slowdowns Luu et
+       al. observed on production PFSes. [alpha = 0] degenerates to
+       [`Linear].}
+    {- [`Unshared]: every flow gets the full aggregate bandwidth regardless
+       of concurrency — the "no interference" baseline runs.}}
+
+    On every membership change the subsystem {e settles} all active flows
+    (accrues transferred volume at the old rates, emitting metrics), then
+    recomputes rates and completion events. Regular transfers are credited
+    to {!Metrics.Regular_io} at their nominal-rate share and to
+    {!Metrics.Io_dilation} for the remainder; checkpoint and recovery flows
+    are pure waste. *)
+
+type sharing = [ `Linear | `Degraded of float | `Unshared ]
+
+type io_kind = Input | Output | Ckpt | Recovery | Drain
+
+val io_kind_name : io_kind -> string
+(** [Drain] marks background burst-buffer drains: they consume PFS
+    bandwidth (and so interfere) but occupy no compute nodes, hence record
+    no node-seconds. *)
+
+type t
+type flow
+
+val create :
+  engine:Cocheck_des.Engine.t ->
+  metrics:Metrics.t ->
+  bandwidth_gbs:float ->
+  sharing:sharing ->
+  t
+
+val start_flow :
+  t ->
+  job:int ->
+  nodes:int ->
+  kind:io_kind ->
+  volume_gb:float ->
+  on_complete:(unit -> unit) ->
+  flow
+(** Begin a transfer at the current simulation time. [on_complete] fires
+    from an engine event when the last byte lands; a zero-volume transfer
+    completes via an immediate event (still asynchronously, preserving
+    event ordering). *)
+
+val abort_flow : t -> flow -> unit
+(** Settle and drop a flow without firing its completion (job killed).
+    Idempotent; aborting a completed flow is a no-op. *)
+
+val active_count : t -> int
+val active_rate : t -> flow -> float option
+(** Current GB/s of a live flow (after the last settle). *)
+
+val remaining_gb : t -> flow -> float option
+val flow_job : flow -> int
+val flow_kind : flow -> io_kind
+
+val transferred_gb : t -> float
+(** Aggregate volume actually moved so far, for conservation tests. *)

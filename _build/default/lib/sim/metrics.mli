@@ -1,0 +1,55 @@
+(** Node-second accounting over a measurement segment.
+
+    Every enrolled node-second of a simulation is classified as exactly one
+    {!kind}; the waste ratio of Section 6 is the wasted node-seconds within
+    the segment divided by the baseline run's useful node-seconds in the
+    same segment. Intervals are clipped to the segment on entry, so the
+    ledger is a handful of counters, not a trace. *)
+
+type kind =
+  | Work  (** useful, eventually-committed computation — progress *)
+  | Regular_io
+      (** regular (non-CR) input/output transferred at nominal full
+          bandwidth — progress *)
+  | Io_dilation
+      (** the part of a regular transfer lost to interference or queueing
+          (actual minus nominal duration) — waste *)
+  | Ckpt_io  (** global checkpoint commits — waste *)
+  | Local_ckpt  (** node-local (two-level) snapshot pauses — waste *)
+  | Wait  (** idle, blocked on the I/O token — waste *)
+  | Recovery_io  (** restart reads after a failure — waste *)
+  | Lost_work  (** computation rolled back by a failure — waste *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val is_progress : kind -> bool
+
+type t
+
+val create : seg_start:float -> seg_end:float -> t
+(** Requires [seg_start <= seg_end]. *)
+
+val segment : t -> float * float
+
+val record : t -> t0:float -> t1:float -> nodes:int -> kind -> unit
+(** Accumulate [(t1 − t0) × nodes] node-seconds of [kind], clipped to the
+    segment. Requires [t0 <= t1] and [nodes >= 0]. *)
+
+val record_weighted : t -> t0:float -> t1:float -> nodes:int -> fraction:float -> progress:kind -> waste:kind -> unit
+(** Split an interval between a progress kind and a waste kind: [fraction]
+    (in [\[0,1\]]) of the node-seconds go to [progress], the rest to
+    [waste]. Used for bandwidth-shared transfers where the nominal-rate part
+    counts as progress. *)
+
+val record_enrolled : t -> t0:float -> t1:float -> nodes:int -> unit
+(** Track total enrolled node-seconds (for conservation checks). *)
+
+val total : t -> kind -> float
+val progress_ns : t -> float
+val waste_ns : t -> float
+val enrolled_ns : t -> float
+
+val by_kind : t -> (kind * float) list
+(** All kinds in {!all_kinds} order. *)
+
+val pp : Format.formatter -> t -> unit

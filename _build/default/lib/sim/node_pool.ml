@@ -1,0 +1,47 @@
+type t = {
+  owners : int array;  (* -1 = free *)
+  free_stack : int array;
+  mutable free_top : int;  (* number of free nodes; stack grows downward from 0 *)
+}
+
+let create ~nodes =
+  if nodes <= 0 then invalid_arg "Node_pool.create: nodes must be positive";
+  {
+    owners = Array.make nodes (-1);
+    free_stack = Array.init nodes (fun i -> i);
+    free_top = nodes;
+  }
+
+let total t = Array.length t.owners
+let free_count t = t.free_top
+let used_count t = total t - t.free_top
+
+let alloc t ~job ~count =
+  if count <= 0 then invalid_arg "Node_pool.alloc: count must be positive";
+  if job < 0 then invalid_arg "Node_pool.alloc: negative job id";
+  if count > t.free_top then None
+  else begin
+    let ids = Array.make count 0 in
+    for i = 0 to count - 1 do
+      t.free_top <- t.free_top - 1;
+      let node = t.free_stack.(t.free_top) in
+      ids.(i) <- node;
+      t.owners.(node) <- job
+    done;
+    Some ids
+  end
+
+let release t ids =
+  Array.iter
+    (fun node ->
+      if node < 0 || node >= total t then invalid_arg "Node_pool.release: bad node id";
+      if t.owners.(node) = -1 then invalid_arg "Node_pool.release: node already free";
+      t.owners.(node) <- -1;
+      t.free_stack.(t.free_top) <- node;
+      t.free_top <- t.free_top + 1)
+    ids
+
+let owner t node =
+  if node < 0 || node >= total t then invalid_arg "Node_pool.owner: bad node id";
+  let o = t.owners.(node) in
+  if o = -1 then None else Some o

@@ -1,0 +1,21 @@
+(** Space-shared node allocation with per-node ownership, so failure events
+    (which strike a uniformly random node) can be mapped to the job running
+    there. *)
+
+type t
+
+val create : nodes:int -> t
+val total : t -> int
+val free_count : t -> int
+val used_count : t -> int
+
+val alloc : t -> job:int -> count:int -> int array option
+(** Allocate [count] nodes to [job]; [None] when not enough are free.
+    Returned ids are the allocated nodes. Requires [count > 0]. *)
+
+val release : t -> int array -> unit
+(** Free previously allocated nodes. Raises [Invalid_argument] when a node
+    is already free (double release). *)
+
+val owner : t -> int -> int option
+(** The job occupying a node, if any. *)

@@ -1,0 +1,54 @@
+(** Structured event tracing for simulations.
+
+    A bounded in-memory event log the simulator can emit into (pass
+    [?trace] to {!Simulator.run}). Used for debugging, for the
+    protocol-invariant tests (a commit must follow a start, a job holds at
+    most one activity, ...), and by the [simctl trace] command for
+    eyeballing a schedule. *)
+
+type kind =
+  | Job_started of { restarts : int; nodes : int }
+      (** instance allocated and beginning input *)
+  | Input_done  (** initial input or recovery read finished; work begins *)
+  | Ckpt_requested
+  | Ckpt_started  (** commit transfer begins (PFS or burst buffer) *)
+  | Ckpt_committed of { work : float }  (** committed progress level *)
+  | Ckpt_aborted  (** a failure destroyed the commit in flight *)
+  | Token_granted
+  | Work_completed
+  | Job_completed
+  | Job_killed of { lost_work : float }
+  | Node_failure of { node : int }  (** platform event; [job]/[inst] are -1 *)
+
+type event = {
+  time : float;
+  job : int;  (** stable job identity (spec id); -1 for platform events *)
+  inst : int;  (** running instance; -1 for platform events *)
+  kind : kind;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A ring buffer keeping the most recent [capacity] events (default
+    100 000). *)
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+(** Retained event count. *)
+
+val dropped : t -> int
+(** Events evicted by the capacity bound. *)
+
+val for_job : t -> job:int -> event list
+val of_kind : t -> f:(kind -> bool) -> event list
+
+val kind_name : kind -> string
+val pp_event : Format.formatter -> event -> unit
+
+val dump : ?limit:int -> t -> string
+(** Text rendering of (up to [limit]) retained events. *)

@@ -1,0 +1,102 @@
+type series = { label : string; points : (float * float) list }
+
+type config = {
+  width : int;
+  height : int;
+  log_x : bool;
+  x_label : string;
+  y_label : string;
+  title : string;
+}
+
+let default_config =
+  { width = 72; height = 20; log_x = false; x_label = "x"; y_label = "y"; title = "" }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&'; '~'; '$' |]
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let render ?(config = default_config) series_list =
+  let buf = Buffer.create 4096 in
+  if config.title <> "" then begin
+    Buffer.add_string buf config.title;
+    Buffer.add_char buf '\n'
+  end;
+  let all_points =
+    List.concat_map (fun s -> List.filter finite s.points) series_list
+  in
+  if all_points = [] then begin
+    Buffer.add_string buf "(no data)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let tx x = if config.log_x then log (Float.max x 1e-300) else x in
+    let xs = List.map (fun (x, _) -> tx x) all_points in
+    let ys = List.map snd all_points in
+    let xmin = List.fold_left Float.min (List.hd xs) xs in
+    let xmax = List.fold_left Float.max (List.hd xs) xs in
+    let ymin = List.fold_left Float.min (List.hd ys) ys in
+    let ymax = List.fold_left Float.max (List.hd ys) ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let w = max 8 config.width and h = max 4 config.height in
+    let grid = Array.make_matrix h w ' ' in
+    let plot_series idx s =
+      let marker = markers.(idx mod Array.length markers) in
+      List.iter
+        (fun (x, y) ->
+          let col =
+            int_of_float (Float.round ((tx x -. xmin) /. xspan *. float_of_int (w - 1)))
+          in
+          let row =
+            (h - 1)
+            - int_of_float (Float.round ((y -. ymin) /. yspan *. float_of_int (h - 1)))
+          in
+          if row >= 0 && row < h && col >= 0 && col < w then
+            (* Later series overwrite earlier ones at collisions; the legend
+               tells the reader overlaps may hide markers. *)
+            grid.(row).(col) <- marker)
+        (List.filter finite s.points)
+    in
+    List.iteri plot_series series_list;
+    let ylab_width = 10 in
+    let add_axis_row row =
+      let v = ymax -. (float_of_int row /. float_of_int (h - 1) *. yspan) in
+      let lab = Printf.sprintf "%9.3g" v in
+      let lab =
+        if row = 0 || row = h - 1 || row = (h - 1) / 2 then lab
+        else String.make (String.length lab) ' '
+      in
+      Buffer.add_string buf lab;
+      Buffer.add_string buf " |"
+    in
+    for row = 0 to h - 1 do
+      add_axis_row row;
+      Buffer.add_string buf (String.init w (fun col -> grid.(row).(col)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make ylab_width ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make w '-');
+    Buffer.add_char buf '\n';
+    let x_left = Printf.sprintf "%.3g" (if config.log_x then exp xmin else xmin) in
+    let x_right = Printf.sprintf "%.3g" (if config.log_x then exp xmax else xmax) in
+    let mid = config.x_label ^ (if config.log_x then " (log)" else "") in
+    let gap =
+      max 1 (w - String.length x_left - String.length x_right - String.length mid)
+    in
+    Buffer.add_string buf (String.make (ylab_width + 1) ' ');
+    Buffer.add_string buf x_left;
+    Buffer.add_string buf (String.make (gap / 2) ' ');
+    Buffer.add_string buf mid;
+    Buffer.add_string buf (String.make (gap - (gap / 2)) ' ');
+    Buffer.add_string buf x_right;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "y: %s\n" config.y_label);
+    List.iteri
+      (fun idx s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" markers.(idx mod Array.length markers) s.label))
+      series_list;
+    Buffer.contents buf
+  end

@@ -1,0 +1,25 @@
+(** Minimal multi-series ASCII line charts.
+
+    The paper's figures are line plots (waste ratio vs bandwidth, vs MTBF,
+    required bandwidth vs MTBF). The container has no plotting stack, so
+    this renders the same series on a character grid — enough to eyeball the
+    crossovers and orderings the reproduction must preserve. *)
+
+type series = { label : string; points : (float * float) list }
+
+type config = {
+  width : int;        (** plot area width in characters *)
+  height : int;       (** plot area height in characters *)
+  log_x : bool;       (** logarithmic x axis (Figure 2 uses one) *)
+  x_label : string;
+  y_label : string;
+  title : string;
+}
+
+val default_config : config
+
+val render : ?config:config -> series list -> string
+(** Render the series on one grid. Each series gets a distinct marker
+    character; a legend maps markers to labels. Points with non-finite
+    coordinates are skipped. An empty series list yields a title-only
+    stub. *)

@@ -1,0 +1,35 @@
+let exponential rng ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential: mean must be positive";
+  (* 1 - u in (0,1] avoids log 0. *)
+  -.mean *. log1p (-.Rng.unit_float rng)
+
+let uniform rng ~lo ~hi =
+  if lo > hi then invalid_arg "Dist.uniform: lo > hi";
+  lo +. Rng.float rng (hi -. lo)
+
+let normal rng ~mean ~stddev =
+  if stddev < 0.0 then invalid_arg "Dist.normal: negative stddev";
+  (* Box–Muller; one variate per call keeps streams position-independent. *)
+  let u1 = 1.0 -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let truncated_normal rng ~mean ~stddev ~lo ~hi =
+  if lo >= hi then invalid_arg "Dist.truncated_normal: empty interval";
+  let rec draw attempts =
+    if attempts >= 10_000 then (lo +. hi) /. 2.0
+    else
+      let x = normal rng ~mean ~stddev in
+      if x >= lo && x <= hi then x else draw (attempts + 1)
+  in
+  draw 0
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+
+let weibull rng ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Dist.weibull: parameters must be positive";
+  let u = 1.0 -. Rng.unit_float rng in
+  scale *. ((-.log u) ** (1.0 /. shape))
+
+let exponential_cdf ~x ~mean =
+  if x <= 0.0 then 0.0 else 1.0 -. exp (-.x /. mean)

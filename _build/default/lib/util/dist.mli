@@ -1,0 +1,26 @@
+(** Random variate sampling for the distributions the paper's simulator uses:
+    exponential failure inter-arrival times, normally distributed job
+    durations (20 % relative standard deviation around the APEX walltime),
+    and a few extras used in tests (Weibull, lognormal). *)
+
+val exponential : Rng.t -> mean:float -> float
+(** [exponential rng ~mean] draws from Exp(1/mean). Requires [mean > 0]. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [\[lo, hi)]. Requires [lo <= hi]. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Box–Muller Gaussian draw. [stddev >= 0]. *)
+
+val truncated_normal : Rng.t -> mean:float -> stddev:float -> lo:float -> hi:float -> float
+(** Gaussian conditioned on [\[lo, hi\]] by rejection; falls back to the
+    uniform midpoint after 10 000 rejections (degenerate parameterisations in
+    property tests). Requires [lo < hi]. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+val weibull : Rng.t -> scale:float -> shape:float -> float
+(** Inverse-CDF Weibull draw; [shape = 1] degenerates to the exponential. *)
+
+val exponential_cdf : x:float -> mean:float -> float
+(** CDF of Exp(1/mean) at [x]; used by goodness-of-fit tests. *)

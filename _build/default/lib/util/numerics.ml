@@ -1,0 +1,175 @@
+let kahan_sum xs =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let t = !sum +. x in
+      (* Kahan–Babuška: pick the compensation branch by magnitude. *)
+      if Float.abs !sum >= Float.abs x then comp := !comp +. (!sum -. t +. x)
+      else comp := !comp +. (x -. t +. !sum);
+      sum := t)
+    xs;
+  !sum +. !comp
+
+let sum_by f l = kahan_sum (Array.of_list (List.map f l))
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then invalid_arg "Numerics.bisect: no sign change in bracket"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    while !hi -. !lo > tol *. (1.0 +. Float.abs !lo) && !iter < max_iter do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0.0 then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end;
+      incr iter
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f lo) and fb = ref (f hi) in
+  if !fa = 0.0 then lo
+  else if !fb = 0.0 then hi
+  else if !fa *. !fb > 0.0 then invalid_arg "Numerics.brent: no sign change in bracket"
+  else begin
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let iter = ref 0 in
+    while !fb <> 0.0 && Float.abs (!b -. !a) > tol *. (1.0 +. Float.abs !b) && !iter < max_iter do
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* Inverse quadratic interpolation. *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_lim = (3.0 *. !a +. !b) /. 4.0 in
+      let in_range =
+        if lo_lim < !b then s > lo_lim && s < !b else s > !b && s < lo_lim
+      in
+      let use_bisect =
+        (not in_range)
+        || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
+        || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0)
+      in
+      let s = if use_bisect then 0.5 *. (!a +. !b) else s in
+      mflag := use_bisect;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0.0 then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end;
+      incr iter
+    done;
+    !b
+  end
+
+let find_min_positive ?(tol = 1e-12) ~f ~hi0 () =
+  if f 0.0 <= 0.0 then 0.0
+  else begin
+    let hi = ref (Float.max hi0 1e-9) in
+    while f !hi > 0.0 && !hi < 1e30 do
+      hi := !hi *. 2.0
+    done;
+    if f !hi > 0.0 then failwith "Numerics.find_min_positive: no feasible point below 1e30";
+    bisect ~tol ~f ~lo:0.0 ~hi:!hi ()
+  end
+
+let golden_section_min ?(tol = 1e-9) ~f ~lo ~hi () =
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (phi *. (!b -. !a))) in
+  let d = ref (!a +. (phi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  while !b -. !a > tol *. (1.0 +. Float.abs !a) do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+let integrate_simpson ~f ~lo ~hi ~n =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Numerics.integrate_simpson: n must be even and >= 2";
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (f lo +. f hi) in
+  for i = 1 to n - 1 do
+    let x = lo +. (float_of_int i *. h) in
+    acc := !acc +. ((if i mod 2 = 1 then 4.0 else 2.0) *. f x)
+  done;
+  !acc *. h /. 3.0
+
+(* Lanczos coefficients for g = 7, n = 9 (Boost/GSL standard set). *)
+let lanczos_g = 7.0
+
+let lanczos_coeffs =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Numerics.log_gamma: non-positive argument";
+  if x < 0.5 then
+    (* Reflection: Γ(x)Γ(1−x) = π / sin(πx). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos_coeffs.(0) in
+    for i = 1 to Array.length lanczos_coeffs - 1 do
+      a := !a +. (lanczos_coeffs.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. log (2.0 *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+let gamma x = exp (log_gamma x)
+
+let fequal ?(eps = 1e-9) a b =
+  a = b
+  || Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))

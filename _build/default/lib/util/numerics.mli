@@ -1,0 +1,51 @@
+(** Numerical routines backing the analytical side of the paper: compensated
+    summation for long waste accumulations, and root finding for the Lagrange
+    multiplier of Theorem 1 and the bandwidth search of Figure 3. *)
+
+val kahan_sum : float array -> float
+(** Kahan–Babuška compensated sum. *)
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** Compensated sum of [f x] over the list. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** [bisect ~f ~lo ~hi ()] finds a root of [f] in [\[lo, hi\]] by bisection.
+    Requires [f lo] and [f hi] to have opposite signs (or one of them to be
+    zero). [tol] is the absolute interval width at which to stop (default
+    [1e-12] relative to the interval). Raises [Invalid_argument] when the
+    bracket does not straddle a sign change. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Brent's method: bisection safety with inverse-quadratic speed. Same
+    contract as {!bisect}. *)
+
+val find_min_positive :
+  ?tol:float -> f:(float -> float) -> hi0:float -> unit -> float
+(** [find_min_positive ~f ~hi0 ()] returns the smallest [x >= 0] with
+    [f x <= 0], assuming [f] is continuous and decreasing. Returns [0.] when
+    [f 0 <= 0] already. The initial upper bracket [hi0] is grown geometrically
+    until [f hi <= 0] (raises [Failure] if no bracket below [1e30]). This is
+    exactly the shape of the λ search in Theorem 1. *)
+
+val golden_section_min :
+  ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Golden-section minimisation of a unimodal function; returns the abscissa
+    of the minimum. *)
+
+val integrate_simpson : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite Simpson integration with [n] (even, >= 2) panels. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function, Lanczos approximation (g = 7, n = 9);
+    accurate to ~1e-13 for positive arguments. Raises [Invalid_argument] for
+    [x <= 0]. *)
+
+val gamma : float -> float
+(** [exp (log_gamma x)]; overflows to [infinity] beyond x ≈ 171. Used to
+    mean-match Weibull failure distributions: E = scale · Γ(1 + 1/shape). *)
+
+val fequal : ?eps:float -> float -> float -> bool
+(** Approximate float equality with combined absolute/relative tolerance
+    (default [1e-9]). *)

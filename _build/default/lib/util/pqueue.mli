@@ -1,0 +1,40 @@
+(** Growable binary min-heap with stable handles.
+
+    The discrete-event calendar needs three operations fast: insert, extract
+    the minimum, and cancel an arbitrary pending entry (a checkpoint
+    completion superseded by a failure, an I/O completion superseded by a
+    bandwidth change). Handles give O(log n) removal without scanning.
+
+    Ordering is by [priority] (a float, e.g. simulation time) with an integer
+    sequence number breaking ties FIFO, so equal-time events pop in insertion
+    order — a requirement for deterministic simulation. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> 'a handle
+(** Insert; the handle stays valid until the element is popped or removed. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest-priority element (FIFO among ties). *)
+
+val peek : 'a t -> (float * 'a) option
+
+val remove : 'a t -> 'a handle -> bool
+(** [remove t h] cancels the entry behind [h]. Returns [false] when the
+    entry already left the heap (popped or removed); idempotent. *)
+
+val mem : 'a t -> 'a handle -> bool
+(** Whether the handle still designates a live entry. *)
+
+val priority_of : 'a t -> 'a handle -> float option
+(** The current priority behind a live handle. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive snapshot in pop order; O(n log n), for tests. *)

@@ -1,0 +1,102 @@
+(* xoshiro256++ with SplitMix64 seeding (Blackman & Vigna). Chosen over
+   [Stdlib.Random] for explicit state, stable cross-version streams, and
+   cheap deterministic substream derivation. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  seed : int;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* SplitMix64 step: used only to expand seeds into full 256-bit states. *)
+let splitmix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let state_of_seed64 ~seed x =
+  let sm = ref x in
+  let s0 = splitmix_next sm in
+  let s1 = splitmix_next sm in
+  let s2 = splitmix_next sm in
+  let s3 = splitmix_next sm in
+  (* An all-zero state is a fixed point of xoshiro; SplitMix64 cannot emit
+     four zeros in a row, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L; seed }
+  else { s0; s1; s2; s3; seed }
+
+let create ~seed = state_of_seed64 ~seed (Int64.of_int seed)
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tm = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tm;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = state_of_seed64 ~seed:t.seed (bits64 t)
+
+(* FNV-1a, good enough to map names to well-spread 64-bit values. *)
+let hash_name name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  !h
+
+let substream t name =
+  let mix = Int64.logxor (Int64.of_int t.seed) (hash_name name) in
+  state_of_seed64 ~seed:t.seed mix
+
+let copy t = { t with s0 = t.s0 }
+
+let unit_float t =
+  (* 53 high bits -> [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let float t x = unit_float t *. x
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let mask =
+    let rec grow m = if m >= Int64.sub n64 1L && m > 0L then m else grow (Int64.add (Int64.shift_left m 1) 1L) in
+    grow 1L
+  in
+  let rec draw () =
+    let v = Int64.logand (Int64.shift_right_logical (bits64 t) 1) mask in
+    if v < n64 then Int64.to_int v else draw ()
+  in
+  draw ()
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let a = Array.of_list l in
+  shuffle t a;
+  Array.to_list a
+
+let seed_of t = t.seed

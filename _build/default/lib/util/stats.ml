@@ -1,0 +1,110 @@
+type running = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+let running_create () = { n = 0; mu = 0.0; m2 = 0.0 }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.mu in
+  r.mu <- r.mu +. (delta /. float_of_int r.n);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mu))
+
+let running_count r = r.n
+let running_mean r = if r.n = 0 then nan else r.mu
+let running_variance r = if r.n < 2 then nan else r.m2 /. float_of_int (r.n - 1)
+let running_stddev r = sqrt (running_variance r)
+
+let mean xs =
+  let r = running_create () in
+  Array.iter (running_add r) xs;
+  running_mean r
+
+let variance xs =
+  let r = running_create () in
+  Array.iter (running_add r) xs;
+  running_variance r
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor h) in
+    let i = if i >= n - 1 then n - 2 else i in
+    let frac = h -. float_of_int i in
+    sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+type candlestick = {
+  mean : float;
+  d1 : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  d9 : float;
+  n : int;
+}
+
+let candlestick xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.candlestick: empty array";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let q p =
+    if n = 1 then sorted.(0)
+    else begin
+      let h = p *. float_of_int (n - 1) in
+      let i = min (n - 2) (int_of_float (Float.floor h)) in
+      let frac = h -. float_of_int i in
+      sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+    end
+  in
+  {
+    mean = mean xs;
+    d1 = q 0.1;
+    q1 = q 0.25;
+    median = q 0.5;
+    q3 = q 0.75;
+    d9 = q 0.9;
+    n;
+  }
+
+let pp_candlestick ppf c =
+  Format.fprintf ppf "mean=%.4f d1=%.4f q1=%.4f med=%.4f q3=%.4f d9=%.4f (n=%d)"
+    c.mean c.d1 c.q1 c.median c.q3 c.d9 c.n
+
+let z_of_confidence = function
+  | 0.90 -> 1.6449
+  | 0.95 -> 1.9600
+  | 0.99 -> 2.5758
+  | c -> invalid_arg (Printf.sprintf "Stats.mean_ci: unsupported confidence %g" c)
+
+let mean_ci ?(confidence = 0.95) xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Stats.mean_ci: need at least two samples";
+  let z = z_of_confidence confidence in
+  let m = mean xs and s = stddev xs in
+  (m, z *. s /. sqrt (float_of_int n))
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then { lo = 0.0; hi = 1.0; counts = Array.make bins 0 }
+  else begin
+    let lo = Array.fold_left min xs.(0) xs in
+    let hi = Array.fold_left max xs.(0) xs in
+    let counts = Array.make bins 0 in
+    let width = if hi > lo then hi -. lo else 1.0 in
+    let bucket x =
+      let b = int_of_float (float_of_int bins *. (x -. lo) /. width) in
+      if b >= bins then bins - 1 else if b < 0 then 0 else b
+    in
+    Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+    { lo; hi; counts }
+  end

@@ -1,0 +1,81 @@
+type align = Left | Right | Center
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable aligns : align list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let default_aligns n = List.init n (fun i -> if i = 0 then Left else Right)
+
+let create ~headers =
+  let ncols = List.length headers in
+  if ncols = 0 then invalid_arg "Table.create: no columns";
+  { headers; ncols; aligns = default_aligns ncols; rows = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> t.ncols then invalid_arg "Table.set_aligns: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t row =
+  if List.length row <> t.ncols then invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_float_row t ~label values =
+  add_row t (label :: List.map (Printf.sprintf "%.4g") values)
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_row row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  List.iter note_row rows;
+  let buf = Buffer.create 1024 in
+  let trim_right s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let emit_row row =
+    let cells = List.mapi (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell) row in
+    Buffer.add_string buf (trim_right (String.concat "  " cells));
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  emit_row (Array.to_list (Array.map (fun w -> String.make w '-') widths));
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) ^ "\n" in
+  (* [t.rows] is stored most-recent-first; rev_map restores insertion order. *)
+  String.concat "" (line t.headers :: List.rev_map line t.rows)
+
+let pp ppf t = Format.pp_print_string ppf (render t)

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints the same rows the paper's tables and figure
+    series contain; this module aligns them into readable monospace tables
+    and can also emit CSV for external plotting. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers. Column count is fixed by the
+    header list; rows with a different arity raise [Invalid_argument]. *)
+
+val set_aligns : t -> align list -> unit
+(** Per-column alignment; default all [Right] except the first column
+    [Left]. Must match the column count. *)
+
+val add_row : t -> string list -> unit
+
+val add_float_row : t -> label:string -> float list -> unit
+(** Convenience: label column followed by values printed with [%.4g]. *)
+
+val render : t -> string
+(** Box-drawing-free ASCII rendering with a header separator. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Candidate Cocheck_core Cocheck_model Cocheck_util Daly Float Least_waste List Lower_bound Printf QCheck QCheck_alcotest Strategy Waste

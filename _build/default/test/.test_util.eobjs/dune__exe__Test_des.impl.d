@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Cocheck_des List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Cocheck_core Cocheck_experiments Cocheck_model Cocheck_parallel Cocheck_sim Cocheck_util Float List Option Printf String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cocheck_core Cocheck_des Cocheck_model Cocheck_sim Cocheck_util Float List Printf QCheck QCheck_alcotest String

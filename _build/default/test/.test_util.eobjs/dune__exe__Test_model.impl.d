@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Apex App_class Array Cocheck_model Cocheck_util Float Jobgen List Platform Printf QCheck QCheck_alcotest String

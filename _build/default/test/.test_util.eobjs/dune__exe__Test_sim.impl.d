@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cocheck_core Cocheck_des Cocheck_model Cocheck_sim Cocheck_util Float Fun Int List Option Printf QCheck QCheck_alcotest Set

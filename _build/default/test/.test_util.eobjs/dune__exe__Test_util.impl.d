@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Cocheck_util Dist Float Format List Numerics Pqueue Printf QCheck QCheck_alcotest Rng Stats String Table Units

@@ -1,0 +1,161 @@
+(* Tests for the discrete-event engine: clock semantics, ordering,
+   cancellation, and run-until behaviour. *)
+
+module Engine = Cocheck_des.Engine
+
+let checkf msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_clock_starts_at_start () =
+  let e = Engine.create ~start:5.0 () in
+  checkf "initial clock" 5.0 (Engine.now e)
+
+let test_events_fire_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag = fun eng -> log := (tag, Engine.now eng) :: !log in
+  ignore (Engine.schedule_at e ~time:3.0 (note "c"));
+  ignore (Engine.schedule_at e ~time:1.0 (note "a"));
+  ignore (Engine.schedule_at e ~time:2.0 (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev_map fst !log)
+
+let test_ties_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Engine.schedule_at e ~time:1.0 (fun _ -> log := tag :: !log)))
+    [ "first"; "second"; "third" ];
+  Engine.run e;
+  Alcotest.(check (list string)) "FIFO among equal times" [ "first"; "second"; "third" ]
+    (List.rev !log)
+
+let test_clock_advances_with_events () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule_at e ~time:1.5 (fun eng -> seen := Engine.now eng :: !seen));
+  ignore (Engine.schedule_at e ~time:4.5 (fun eng -> seen := Engine.now eng :: !seen));
+  Engine.run e;
+  Alcotest.(check (list (float 0.0))) "handler sees event time" [ 1.5; 4.5 ] (List.rev !seen)
+
+let test_schedule_from_handler () =
+  let e = Engine.create () in
+  let fired = ref 0.0 in
+  ignore
+    (Engine.schedule_at e ~time:1.0 (fun eng ->
+         ignore (Engine.schedule_after eng ~delay:2.0 (fun eng' -> fired := Engine.now eng'))));
+  Engine.run e;
+  checkf "chained event at 3" 3.0 !fired
+
+let test_schedule_in_past_rejected () =
+  let e = Engine.create ~start:10.0 () in
+  Alcotest.(check bool) "past rejected" true
+    (match Engine.schedule_at e ~time:5.0 (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      ignore (Engine.schedule_after e ~delay:(-1.0) (fun _ -> ())))
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e ~time:1.0 (fun _ -> fired := true) in
+  Alcotest.(check bool) "pending before" true (Engine.pending e h);
+  Alcotest.(check bool) "cancel succeeds" true (Engine.cancel e h);
+  Alcotest.(check bool) "cancel idempotent" false (Engine.cancel e h);
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event never fires" false !fired
+
+let test_cancel_after_fire () =
+  let e = Engine.create () in
+  let h = Engine.schedule_at e ~time:1.0 (fun _ -> ()) in
+  Engine.run e;
+  Alcotest.(check bool) "cancel after fire is false" false (Engine.cancel e h)
+
+let test_time_of () =
+  let e = Engine.create () in
+  let h = Engine.schedule_at e ~time:7.25 (fun _ -> ()) in
+  Alcotest.(check (option (float 0.0))) "time of pending" (Some 7.25) (Engine.time_of e h);
+  Engine.run e;
+  Alcotest.(check (option (float 0.0))) "time of fired" None (Engine.time_of e h)
+
+let test_run_until_stops_and_advances_clock () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule_at e ~time:1.0 (fun _ -> fired := 1.0 :: !fired));
+  ignore (Engine.schedule_at e ~time:5.0 (fun _ -> fired := 5.0 :: !fired));
+  Engine.run ~until:3.0 e;
+  Alcotest.(check (list (float 0.0))) "only early event" [ 1.0 ] !fired;
+  checkf "clock moved to horizon" 3.0 (Engine.now e);
+  Alcotest.(check int) "late event still queued" 1 (Engine.queue_length e);
+  Engine.run e;
+  Alcotest.(check (list (float 0.0))) "late event after resume" [ 5.0; 1.0 ] !fired
+
+let test_run_until_inclusive () =
+  let e = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule_at e ~time:3.0 (fun _ -> fired := true));
+  Engine.run ~until:3.0 e;
+  Alcotest.(check bool) "event at horizon fires" true !fired
+
+let test_step () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~time:1.0 (fun _ -> ()));
+  Alcotest.(check bool) "step processes" true (Engine.step e);
+  Alcotest.(check bool) "step on empty" false (Engine.step e)
+
+let test_events_processed_counter () =
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e ~time:(float_of_int i) (fun _ -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "10 events" 10 (Engine.events_processed e)
+
+let test_cancellation_inside_handler () =
+  (* A handler cancelling a later event must prevent it from firing. *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let victim = Engine.schedule_at e ~time:2.0 (fun _ -> fired := true) in
+  ignore (Engine.schedule_at e ~time:1.0 (fun eng -> ignore (Engine.cancel eng victim)));
+  Engine.run e;
+  Alcotest.(check bool) "victim cancelled" false !fired
+
+let test_stress_many_events =
+  QCheck.Test.make ~name:"engine_processes_all_events_in_order" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 500) (float_range 0.0 1e6))
+    (fun times ->
+      let e = Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun t -> ignore (Engine.schedule_at e ~time:t (fun eng -> seen := Engine.now eng :: !seen)))
+        times;
+      Engine.run e;
+      List.rev !seen = List.sort compare times)
+
+let () =
+  Alcotest.run "cocheck.des"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "initial clock" `Quick test_clock_starts_at_start;
+          Alcotest.test_case "time order" `Quick test_events_fire_in_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_ties_fifo;
+          Alcotest.test_case "clock tracks events" `Quick test_clock_advances_with_events;
+          Alcotest.test_case "schedule from handler" `Quick test_schedule_from_handler;
+          Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire;
+          Alcotest.test_case "time_of" `Quick test_time_of;
+          Alcotest.test_case "run until" `Quick test_run_until_stops_and_advances_clock;
+          Alcotest.test_case "run until inclusive" `Quick test_run_until_inclusive;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "events counter" `Quick test_events_processed_counter;
+          Alcotest.test_case "cancel from handler" `Quick test_cancellation_inside_handler;
+        ]
+        @ [ QCheck_alcotest.to_alcotest ~long:false test_stress_many_events ] );
+    ]

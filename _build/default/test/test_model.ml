@@ -1,0 +1,276 @@
+(* Tests for cocheck.model: platform presets, application-class arithmetic,
+   the APEX workload table, and job-list generation. *)
+
+open Cocheck_model
+module Rng = Cocheck_util.Rng
+module Units = Cocheck_util.Units
+
+let checkf msg ?(eps = 1e-9) a b = Alcotest.(check (float eps)) msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Platform                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cielo_dimensions () =
+  let p = Platform.cielo () in
+  Alcotest.(check int) "node count" 17_888 p.Platform.nodes;
+  checkf "total memory 286 TB" ~eps:1.0 286_000.0 (Platform.total_memory_gb p);
+  checkf "bandwidth" 160.0 p.Platform.bandwidth_gbs
+
+let test_cielo_system_mtbf_arithmetic () =
+  (* The paper: node MTBF 2 y <-> system MTBF ~1 h; 50 y <-> ~24 h. *)
+  let p2 = Platform.cielo ~node_mtbf_years:2.0 () in
+  let h = Units.to_hours (Platform.system_mtbf p2) in
+  Alcotest.(check bool) (Printf.sprintf "2y -> %.2fh (~1h)" h) true (h > 0.9 && h < 1.1);
+  let p50 = Platform.cielo ~node_mtbf_years:50.0 () in
+  let h50 = Units.to_hours (Platform.system_mtbf p50) in
+  Alcotest.(check bool) (Printf.sprintf "50y -> %.1fh (~24h)" h50) true (h50 > 23.0 && h50 < 26.0)
+
+let test_prospective_dimensions () =
+  let p = Platform.prospective () in
+  Alcotest.(check int) "node count" 50_000 p.Platform.nodes;
+  checkf "total memory 7 PB" ~eps:1.0 7_000_000.0 (Platform.total_memory_gb p)
+
+let test_platform_with_updates () =
+  let p = Platform.cielo () in
+  let p' = Platform.with_bandwidth p 40.0 in
+  checkf "bandwidth updated" 40.0 p'.Platform.bandwidth_gbs;
+  Alcotest.(check int) "nodes unchanged" p.Platform.nodes p'.Platform.nodes;
+  let p'' = Platform.with_node_mtbf p (Units.years 5.0) in
+  checkf "mtbf updated" (Units.years 5.0) p''.Platform.node_mtbf_s
+
+let test_platform_validation () =
+  Alcotest.check_raises "zero nodes" (Invalid_argument "Platform.make: nodes must be positive")
+    (fun () ->
+      ignore
+        (Platform.make ~name:"x" ~nodes:0 ~mem_per_node_gb:1.0 ~bandwidth_gbs:1.0
+           ~node_mtbf_s:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* App_class                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let platform = Platform.cielo ()
+
+let test_memory_footprint () =
+  (* EAP: 2048 nodes x ~16 GB/node = ~32.7 TB. *)
+  let m = App_class.memory_gb Apex.eap ~platform in
+  Alcotest.(check bool) (Printf.sprintf "EAP memory %.0f GB" m) true
+    (m > 32_000.0 && m < 34_000.0)
+
+let test_ckpt_size_percentage () =
+  let m = App_class.memory_gb Apex.eap ~platform in
+  checkf "ckpt = 160% of memory" ~eps:1e-6 (1.6 *. m) (App_class.ckpt_gb Apex.eap ~platform)
+
+let test_ckpt_time_is_size_over_bandwidth () =
+  let c = App_class.ckpt_time Apex.silverton ~platform in
+  checkf "C = size/beta" ~eps:1e-6
+    (App_class.ckpt_gb Apex.silverton ~platform /. 160.0)
+    c
+
+let test_recovery_symmetric () =
+  checkf "R = C" ~eps:0.0
+    (App_class.ckpt_time Apex.vpic ~platform)
+    (App_class.recovery_time Apex.vpic ~platform)
+
+let test_class_mtbf () =
+  (* mu_i = mu_ind / q_i. *)
+  checkf "EAP MTBF" ~eps:1.0
+    (Units.years 2.0 /. 2048.0)
+    (App_class.mtbf Apex.eap ~platform)
+
+let test_scale_nodes () =
+  let c = App_class.scale_nodes Apex.eap ~factor:2.0 in
+  Alcotest.(check int) "doubled" 4096 c.App_class.nodes;
+  let tiny = App_class.scale_nodes Apex.lap ~factor:1e-9 in
+  Alcotest.(check int) "clamped to 1" 1 tiny.App_class.nodes
+
+let test_class_validation () =
+  Alcotest.check_raises "zero walltime"
+    (Invalid_argument "App_class.make: walltime must be positive") (fun () ->
+      ignore
+        (App_class.make ~name:"x" ~workload_pct:10.0 ~walltime_s:0.0 ~nodes:4
+           ~input_pct:1.0 ~output_pct:1.0 ~ckpt_pct:1.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Apex                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_apex_shares_sum_to_100 () =
+  let total =
+    List.fold_left (fun acc c -> acc +. c.App_class.workload_pct) 0.0 Apex.lanl_workload
+  in
+  checkf "shares" ~eps:1e-9 100.0 total
+
+let test_apex_table1_values () =
+  (* Spot-check the embedded Table 1 against the paper. *)
+  Alcotest.(check int) "EAP cores /8" 2048 Apex.eap.App_class.nodes;
+  checkf "LAP walltime 64h" (Units.hours 64.0) Apex.lap.App_class.walltime_s;
+  checkf "Silverton ckpt 350%" 350.0 Apex.silverton.App_class.ckpt_pct;
+  checkf "VPIC output 270%" 270.0 Apex.vpic.App_class.output_pct;
+  checkf "EAP workload 66%" 66.0 Apex.eap.App_class.workload_pct
+
+let test_apex_fits_cielo () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.App_class.name ^ " fits")
+        true
+        (c.App_class.nodes <= platform.Platform.nodes))
+    Apex.lanl_workload
+
+let test_scaled_workload_proportions () =
+  let target = Platform.prospective () in
+  let scaled = Apex.scaled_workload ~target in
+  List.iter2
+    (fun (orig : App_class.t) (s : App_class.t) ->
+      let expect =
+        float_of_int orig.App_class.nodes *. 50_000.0 /. 17_888.0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s scaled %d ~ %.0f" s.App_class.name s.App_class.nodes expect)
+        true
+        (Float.abs (float_of_int s.App_class.nodes -. expect) <= 1.0))
+    Apex.lanl_workload scaled
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table1_renders () =
+  let s = Cocheck_util.Table.render Apex.table1 in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " present") true (contains s name))
+    [ "EAP"; "LAP"; "Silverton"; "VPIC" ]
+
+(* ------------------------------------------------------------------ *)
+(* Jobgen                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(seed = 3) ?(days = 10.0) () =
+  Jobgen.generate ~rng:(Rng.create ~seed) ~platform ~classes:Apex.lanl_workload
+    ~min_duration_s:(Units.days days) ()
+
+let test_jobgen_shares_within_tolerance () =
+  let specs = generate () in
+  let shares = Jobgen.class_shares specs ~nclasses:4 in
+  List.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s share %.2f%% near %.1f%%" c.App_class.name shares.(i)
+           c.App_class.workload_pct)
+        true
+        (Float.abs (shares.(i) -. c.App_class.workload_pct) <= 1.0))
+    Apex.lanl_workload
+
+let test_jobgen_enough_work () =
+  let specs = generate ~days:10.0 () in
+  let total = Array.fold_left (fun acc s -> acc +. Jobgen.node_seconds s) 0.0 specs in
+  Alcotest.(check bool) "covers fill target" true
+    (total >= 1.15 *. float_of_int platform.Platform.nodes *. Units.days 10.0)
+
+let test_jobgen_walltime_spread =
+  QCheck.Test.make ~name:"jobgen_walltimes_within_0.8_1.2" ~count:20 QCheck.small_int
+    (fun seed ->
+      let specs =
+        Jobgen.generate ~rng:(Rng.create ~seed) ~platform ~classes:Apex.lanl_workload
+          ~min_duration_s:(Units.days 5.0) ()
+      in
+      Array.for_all
+        (fun s ->
+          let c = List.nth Apex.lanl_workload s.Jobgen.class_index in
+          s.Jobgen.work_s >= (0.8 *. c.App_class.walltime_s) -. 1e-6
+          && s.Jobgen.work_s <= (1.2 *. c.App_class.walltime_s) +. 1e-6)
+        specs)
+
+let test_jobgen_deterministic () =
+  let a = generate ~seed:5 () and b = generate ~seed:5 () in
+  Alcotest.(check int) "same length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check string) "same class order" s.Jobgen.class_name b.(i).Jobgen.class_name;
+      checkf "same work" ~eps:0.0 s.Jobgen.work_s b.(i).Jobgen.work_s)
+    a
+
+let test_jobgen_ids_sequential () =
+  let specs = generate () in
+  Array.iteri (fun i s -> Alcotest.(check int) "id = position" i s.Jobgen.id) specs
+
+let test_jobgen_volumes_positive () =
+  let specs = generate () in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "ckpt volume positive" true (s.Jobgen.ckpt_gb > 0.0);
+      Alcotest.(check bool) "input volume non-negative" true (s.Jobgen.input_gb >= 0.0))
+    specs
+
+let test_jobgen_rejects_oversized_class () =
+  let huge =
+    App_class.make ~name:"huge" ~workload_pct:50.0 ~walltime_s:3600.0
+      ~nodes:(platform.Platform.nodes + 1) ~input_pct:1.0 ~output_pct:1.0 ~ckpt_pct:1.0 ()
+  in
+  Alcotest.(check bool) "oversized class rejected" true
+    (match
+       Jobgen.generate ~rng:(Rng.create ~seed:1) ~platform ~classes:[ huge ]
+         ~min_duration_s:3600.0 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_jobgen_single_class () =
+  let only =
+    App_class.make ~name:"only" ~workload_pct:100.0 ~walltime_s:(Units.hours 10.0)
+      ~nodes:100 ~input_pct:1.0 ~output_pct:1.0 ~ckpt_pct:10.0 ()
+  in
+  let specs =
+    Jobgen.generate ~rng:(Rng.create ~seed:1) ~platform ~classes:[ only ]
+      ~min_duration_s:(Units.days 2.0) ()
+  in
+  Alcotest.(check bool) "generates jobs" true (Array.length specs > 0);
+  let shares = Jobgen.class_shares specs ~nclasses:1 in
+  checkf "single class holds 100%" ~eps:1e-9 100.0 shares.(0)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "cocheck.model"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "cielo dimensions" `Quick test_cielo_dimensions;
+          Alcotest.test_case "cielo MTBF arithmetic" `Quick test_cielo_system_mtbf_arithmetic;
+          Alcotest.test_case "prospective dimensions" `Quick test_prospective_dimensions;
+          Alcotest.test_case "functional updates" `Quick test_platform_with_updates;
+          Alcotest.test_case "validation" `Quick test_platform_validation;
+        ] );
+      ( "app_class",
+        [
+          Alcotest.test_case "memory footprint" `Quick test_memory_footprint;
+          Alcotest.test_case "ckpt percentage" `Quick test_ckpt_size_percentage;
+          Alcotest.test_case "C = size/bandwidth" `Quick test_ckpt_time_is_size_over_bandwidth;
+          Alcotest.test_case "R = C" `Quick test_recovery_symmetric;
+          Alcotest.test_case "class MTBF" `Quick test_class_mtbf;
+          Alcotest.test_case "scale nodes" `Quick test_scale_nodes;
+          Alcotest.test_case "validation" `Quick test_class_validation;
+        ] );
+      ( "apex",
+        [
+          Alcotest.test_case "shares sum to 100" `Quick test_apex_shares_sum_to_100;
+          Alcotest.test_case "table 1 values" `Quick test_apex_table1_values;
+          Alcotest.test_case "fits Cielo" `Quick test_apex_fits_cielo;
+          Alcotest.test_case "prospective scaling" `Quick test_scaled_workload_proportions;
+          Alcotest.test_case "table renders" `Quick test_table1_renders;
+        ] );
+      ( "jobgen",
+        [
+          Alcotest.test_case "shares within 1%" `Quick test_jobgen_shares_within_tolerance;
+          Alcotest.test_case "enough work generated" `Quick test_jobgen_enough_work;
+          Alcotest.test_case "deterministic" `Quick test_jobgen_deterministic;
+          Alcotest.test_case "sequential ids" `Quick test_jobgen_ids_sequential;
+          Alcotest.test_case "positive volumes" `Quick test_jobgen_volumes_positive;
+          Alcotest.test_case "oversized class rejected" `Quick test_jobgen_rejects_oversized_class;
+          Alcotest.test_case "single class" `Quick test_jobgen_single_class;
+        ]
+        @ qsuite [ test_jobgen_walltime_spread ] );
+    ]
