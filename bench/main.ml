@@ -37,10 +37,14 @@ let spec =
 
 let section title = Printf.printf "\n============ %s ============\n%!" title
 
+(* One timer accumulates every phase; the table at the end of the run
+   breaks the campaign's wall time down. *)
+let timer = Cocheck_obs.Timer.create ()
+
 let timed name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Printf.printf "[%s took %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  let before = Cocheck_obs.Timer.total_s timer in
+  let r = Cocheck_obs.Timer.time timer ~name f in
+  Printf.printf "[%s took %.1fs]\n%!" name (Cocheck_obs.Timer.total_s timer -. before);
   r
 
 (* ------------------------------------------------------------------ *)
@@ -225,10 +229,15 @@ let () =
   let modes = if !modes = [] then [ "all" ] else List.rev !modes in
   let has m = List.mem m modes || List.mem "all" modes in
   Pool.with_pool (fun pool ->
-      if has "table1" then run_table1 ();
+      if has "table1" then timed "table1" run_table1;
       if has "fig1" then run_fig1 pool;
       if has "fig2" then run_fig2 pool;
       if has "fig3" then run_fig3 pool;
       if has "ablations" then run_ablations pool;
-      if has "micro" then run_micro ());
+      if has "micro" then timed "micro" run_micro);
+  (match Cocheck_obs.Timer.phases timer with
+  | [] -> ()
+  | _ ->
+      section "Phase timings";
+      print_string (Cocheck_obs.Timer.render timer));
   Printf.printf "\nbench: done\n"

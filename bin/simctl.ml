@@ -19,6 +19,7 @@ module Simulator = Cocheck_sim.Simulator
 module Metrics = Cocheck_sim.Metrics
 module Pool = Cocheck_parallel.Pool
 module E = Cocheck_experiments
+module Obs = Cocheck_obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared options                                                       *)
@@ -141,6 +142,34 @@ let multilevel_t =
        & info [ "multilevel" ] ~docv:"P,C,R,SOFT"
            ~doc:"Two-level checkpointing: local period (s), local snapshot cost (s),                  local recovery (s), soft-failure fraction. E.g. 600,5,10,0.6.")
 
+(* Observability outputs, shared by `run` and `observe`. *)
+
+let trace_out_t =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the structured event log as JSONL to $(docv).")
+
+let series_out_t =
+  Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE"
+         ~doc:"Sample the platform periodically and write the time series as CSV to \
+               $(docv).")
+
+let manifest_out_t =
+  Arg.(value & opt (some string) None & info [ "manifest-out" ] ~docv:"FILE"
+         ~doc:"Write a reproducible run manifest (config, phase timings, \
+               instrumentation, final metrics) as JSON to $(docv).")
+
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 && Float.is_finite v -> Ok v
+    | _ -> Error (`Msg "expected a positive number")
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let sample_dt_t =
+  Arg.(value & opt (some pos_float_conv) None & info [ "sample-dt" ] ~docv:"SECONDS"
+         ~doc:"Probe interval for the time series (default: horizon / 400).")
+
 let write_out path contents =
   match path with
   | None -> ()
@@ -166,16 +195,44 @@ let run_cmd =
                    ordered-nb-fixed, ordered-nb-daly, least-waste, baseline.")
   in
   let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
-      multilevel =
+      multilevel trace_out series_out manifest_out sample_dt =
     let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
     Format.printf "%a@." Platform.pp platform;
     let cfg s =
       Config.make ~platform ~strategy:s ~seed ~days ~failure_dist
         ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
     in
-    let specs = Simulator.generate_specs (cfg Strategy.Baseline) in
-    let baseline = Simulator.run ~specs (cfg Strategy.Baseline) in
-    let r = Simulator.run ~specs (cfg strategy) in
+    let timer = Obs.Timer.create () in
+    let trace =
+      Option.map (fun _ -> Cocheck_sim.Trace.create ~capacity:2_000_000 ()) trace_out
+    in
+    let registry =
+      if manifest_out <> None then Some (Obs.Histogram.registry ()) else None
+    in
+    let hooks = Option.map Obs.Instrument.standard registry in
+    let cfg_s = cfg strategy in
+    let series, sample =
+      match series_out with
+      | None -> (None, None)
+      | Some _ ->
+          let dt =
+            match sample_dt with Some d -> d | None -> Obs.Sampler.default_dt cfg_s
+          in
+          let s, observe = Obs.Sampler.create () in
+          (Some s, Some (dt, observe))
+    in
+    let specs =
+      Obs.Timer.time timer ~name:"generate" (fun () ->
+          Simulator.generate_specs (cfg Strategy.Baseline))
+    in
+    let baseline =
+      Obs.Timer.time timer ~name:"baseline" (fun () ->
+          Simulator.run ~specs (cfg Strategy.Baseline))
+    in
+    let r =
+      Obs.Timer.time timer ~name:"simulate" (fun () ->
+          Simulator.run ~specs ?trace ?hooks ?sample cfg_s)
+    in
     Format.printf "strategy: %s@." (Strategy.name strategy);
     Format.printf "waste ratio: %.4f (efficiency %.4f)@."
       (Simulator.waste_ratio ~strategy:r ~baseline)
@@ -206,11 +263,36 @@ let run_cmd =
         if restarts > 0 then
           Format.printf "%s: %d restarts, %.3g node-seconds rolled back@." name restarts
             lost)
-      r.restarts_by_class r.lost_work_by_class
+      r.restarts_by_class r.lost_work_by_class;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Obs.Export.write_jsonl oc (Option.get trace);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        write_out (Some path) (Obs.Series.to_csv (Option.get series)))
+      series_out;
+    Option.iter
+      (fun path ->
+        let extra =
+          [
+            ( "waste_ratio",
+              Obs.Json.Float (Simulator.waste_ratio ~strategy:r ~baseline) );
+          ]
+        in
+        Obs.Manifest.write ~path
+          (Obs.Manifest.make ~cfg:cfg_s ~timer ~result:r
+             ?registry ~extra ());
+        Format.printf "wrote %s@." path)
+      manifest_out
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a single simulation and print its waste breakdown.")
     Term.(const action $ strategy_t $ bandwidth_t $ mtbf_years_t $ seed_t $ days_t
-          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t)
+          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t
+          $ trace_out_t $ series_out_t $ manifest_out_t $ sample_dt_t)
 
 (* ------------------------------------------------------------------ *)
 (* figures                                                              *)
@@ -218,23 +300,33 @@ let run_cmd =
 
 let with_pool domains f = Pool.with_pool ?num_domains:domains f
 
+let manifest_dir_t =
+  Arg.(value & opt (some string) None & info [ "manifest-dir" ] ~docv:"DIR"
+         ~doc:"Write one run manifest JSON per (sweep point, replication, strategy) \
+               under $(docv) — every campaign data point becomes individually \
+               reproducible.")
+
 let fig1_cmd =
-  let action reps seed days mtbf_years out domains =
+  let action reps seed days mtbf_years out domains manifest_dir =
     with_pool domains (fun pool ->
         finish_figure out
-          (E.Fig1.run ~pool ~node_mtbf_years:mtbf_years ~reps ~seed ~days ()))
+          (E.Fig1.run ~pool ~node_mtbf_years:mtbf_years ~reps ~seed ~days
+             ?manifest_dir ()))
   in
   Cmd.v (Cmd.info "fig1" ~doc:"Waste ratio vs bandwidth (paper Figure 1).")
-    Term.(const action $ reps_t 100 $ seed_t $ days_t $ mtbf_years_t $ out_t $ domains_t)
+    Term.(const action $ reps_t 100 $ seed_t $ days_t $ mtbf_years_t $ out_t $ domains_t
+          $ manifest_dir_t)
 
 let fig2_cmd =
-  let action reps seed days bandwidth out domains =
+  let action reps seed days bandwidth out domains manifest_dir =
     with_pool domains (fun pool ->
         finish_figure out
-          (E.Fig2.run ~pool ~bandwidth_gbs:bandwidth ~reps ~seed ~days ()))
+          (E.Fig2.run ~pool ~bandwidth_gbs:bandwidth ~reps ~seed ~days
+             ?manifest_dir ()))
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Waste ratio vs node MTBF (paper Figure 2).")
-    Term.(const action $ reps_t 100 $ seed_t $ days_t $ bandwidth_t $ out_t $ domains_t)
+    Term.(const action $ reps_t 100 $ seed_t $ days_t $ bandwidth_t $ out_t $ domains_t
+          $ manifest_dir_t)
 
 let fig3_cmd =
   let action reps seed days out domains =
@@ -422,13 +514,66 @@ let report_cmd =
           $ Arg.(value & flag & info [ "full" ] ~doc:"Full-depth protocol (slow).")
           $ seed_t $ out_t $ domains_t)
 
+let observe_cmd =
+  let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
+      multilevel sample_dt trace_out series_out manifest_out =
+    let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+    let cfg =
+      Config.make ~platform ~strategy ~seed ~days ~failure_dist
+        ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
+    in
+    let timer = Obs.Timer.create () in
+    let registry = Obs.Histogram.registry () in
+    let hooks = Obs.Instrument.standard registry in
+    let dt =
+      match sample_dt with Some d -> d | None -> Obs.Sampler.default_dt cfg
+    in
+    let series, observe = Obs.Sampler.create () in
+    let trace =
+      Option.map (fun _ -> Cocheck_sim.Trace.create ~capacity:2_000_000 ()) trace_out
+    in
+    let r =
+      Obs.Timer.time timer ~name:"simulate" (fun () ->
+          Simulator.run ?trace ~hooks ~sample:(dt, observe) cfg)
+    in
+    print_string (Obs.Dashboard.render ~cfg ~result:r ~series ~registry ());
+    print_newline ();
+    print_string (Obs.Timer.render timer);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Obs.Export.write_jsonl oc (Option.get trace);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      trace_out;
+    Option.iter (fun path -> write_out (Some path) (Obs.Series.to_csv series)) series_out;
+    Option.iter
+      (fun path ->
+        Obs.Manifest.write ~path
+          (Obs.Manifest.make ~cfg ~timer ~result:r ~registry ());
+        Format.printf "wrote %s@." path)
+      manifest_out
+  in
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:"Run one instrumented simulation and render an ASCII dashboard: headline \
+             metrics, waste breakdown, platform sparklines, latency histograms.")
+    Term.(const action
+          $ Arg.(value & opt strategy_conv Strategy.Least_waste
+                 & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Strategy to observe.")
+          $ bandwidth_t $ mtbf_years_t $ seed_t
+          $ Arg.(value & opt float 10.0 & info [ "days" ] ~docv:"DAYS"
+                   ~doc:"Segment length.")
+          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t
+          $ sample_dt_t $ trace_out_t $ series_out_t $ manifest_out_t)
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
        ~doc:"Cooperative checkpointing for shared HPC platforms — simulator and experiments.")
     [
-      run_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd; bound_cmd; trace_cmd;
-      ablation_cmd; check_cmd; timeline_cmd; report_cmd;
+      run_cmd; observe_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd; bound_cmd;
+      trace_cmd; ablation_cmd; check_cmd; timeline_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main)

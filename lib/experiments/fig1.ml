@@ -3,7 +3,7 @@ module Platform = Cocheck_model.Platform
 let default_bandwidths_gbs = [ 40.0; 60.0; 80.0; 100.0; 120.0; 140.0; 160.0 ]
 
 let run ~pool ?(bandwidths_gbs = default_bandwidths_gbs) ?(node_mtbf_years = 2.0)
-    ?(reps = 100) ?(seed = 42) ?(days = 60.0) () =
+    ?(reps = 100) ?(seed = 42) ?(days = 60.0) ?manifest_dir () =
   let points =
     List.map
       (fun b -> (b, Platform.cielo ~bandwidth_gbs:b ~node_mtbf_years ()))
@@ -18,5 +18,5 @@ let run ~pool ?(bandwidths_gbs = default_bandwidths_gbs) ?(node_mtbf_years = 2.0
     x_label = "System Aggregated Bandwidth (GB/s)";
     y_label = "Waste Ratio";
     log_x = false;
-    series = Sweep.waste_vs ~pool ~points ~reps ~seed ~days ();
+    series = Sweep.waste_vs ~pool ~points ~reps ~seed ~days ?manifest_dir ();
   }

@@ -12,7 +12,9 @@ val run :
   ?reps:int ->
   ?seed:int ->
   ?days:float ->
+  ?manifest_dir:string ->
   unit ->
   Figures.t
 (** Defaults: the paper's bandwidths, 2-year node MTBF, 100 replications,
-    seed 42, 60-day segment. *)
+    seed 42, 60-day segment. [manifest_dir] writes one run manifest per
+    (sweep point, replication, strategy), see {!Sweep.waste_vs}. *)

@@ -12,5 +12,8 @@ val run :
   ?reps:int ->
   ?seed:int ->
   ?days:float ->
+  ?manifest_dir:string ->
   unit ->
   Figures.t
+(** [manifest_dir] writes one run manifest per (sweep point, replication,
+    strategy), see {!Sweep.waste_vs}. *)

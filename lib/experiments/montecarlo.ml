@@ -14,8 +14,38 @@ type measurement = {
    SplitMix expansion space. *)
 let rep_seed ~seed ~rep = seed + (1_000_003 * rep)
 
+let slug name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '-')
+    name
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write_manifest ~dir ~rep ~cfg ~result ~ratio =
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "rep%03d-%s.json" rep
+         (slug (Strategy.name cfg.Config.strategy)))
+  in
+  Cocheck_obs.Manifest.write ~path
+    (Cocheck_obs.Manifest.make ~cfg ~result
+       ~extra:
+         [
+           ("rep", Cocheck_obs.Json.Int rep);
+           ("waste_ratio", Cocheck_obs.Json.Float ratio);
+         ]
+       ())
+
 let one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
-    ~interference_alpha ~burst_buffer ~multilevel rep =
+    ~interference_alpha ~burst_buffer ~multilevel ~manifest_dir rep =
   let cfg strategy =
     Config.make ~platform ?classes ~strategy ~seed:(rep_seed ~seed ~rep) ~days
       ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
@@ -26,16 +56,21 @@ let one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
   List.map
     (fun strategy ->
       let r = Simulator.run ~specs (cfg strategy) in
-      Simulator.waste_ratio ~strategy:r ~baseline)
+      let ratio = Simulator.waste_ratio ~strategy:r ~baseline in
+      Option.iter
+        (fun dir -> write_manifest ~dir ~rep ~cfg:(cfg strategy) ~result:r ~ratio)
+        manifest_dir;
+      ratio)
     strategies
 
 let measure ~pool ~platform ?classes ~strategies ~reps ~seed ?(days = 60.0)
-    ?failure_dist ?interference_alpha ?burst_buffer ?multilevel () =
+    ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ?manifest_dir () =
   if reps <= 0 then invalid_arg "Montecarlo.measure: reps must be positive";
+  Option.iter ensure_dir manifest_dir;
   let rows =
     Pool.init_array pool reps
       (one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
-         ~interference_alpha ~burst_buffer ~multilevel)
+         ~interference_alpha ~burst_buffer ~multilevel ~manifest_dir)
   in
   List.mapi
     (fun i strategy ->

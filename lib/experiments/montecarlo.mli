@@ -24,11 +24,17 @@ val measure :
   ?interference_alpha:float ->
   ?burst_buffer:Cocheck_sim.Burst_buffer.spec ->
   ?multilevel:Cocheck_sim.Config.multilevel ->
+  ?manifest_dir:string ->
   unit ->
   measurement list
 (** Run [reps] replications of every strategy (plus the shared baselines)
     on the pool. [days] is the measurement-segment length (default 60, the
-    paper's; experiments routinely shrink it to trade fidelity for time). *)
+    paper's; experiments routinely shrink it to trade fidelity for time).
+    With [manifest_dir] (created if missing), every (replication, strategy)
+    data point also writes a {!Cocheck_obs.Manifest} JSON —
+    [rep<NNN>-<strategy>.json] — capturing the exact config, the result
+    summary and the waste ratio, so campaign points are individually
+    reproducible. *)
 
 val mean_waste :
   pool:Cocheck_parallel.Pool.t ->

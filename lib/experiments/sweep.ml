@@ -16,14 +16,19 @@ let theoretical_waste ~platform ?classes () =
   (Lower_bound.solve_model ~classes:counts ~platform ()).Lower_bound.waste
 
 let waste_vs ~pool ~points ?classes ?(strategies = Strategy.paper_seven) ~reps ~seed
-    ?(days = 60.0) () =
+    ?(days = 60.0) ?manifest_dir () =
   let measured =
     List.map
       (fun (x, platform) ->
+        let manifest_dir =
+          Option.map
+            (fun dir -> Filename.concat dir (Printf.sprintf "x%g" x))
+            manifest_dir
+        in
         ( x,
           Montecarlo.measure ~pool ~platform
             ?classes:(Option.map (fun c -> c) classes)
-            ~strategies ~reps ~seed ~days () ))
+            ~strategies ~reps ~seed ~days ?manifest_dir () ))
       points
   in
   let strategy_series strategy =

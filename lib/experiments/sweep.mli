@@ -19,7 +19,10 @@ val waste_vs :
   reps:int ->
   seed:int ->
   ?days:float ->
+  ?manifest_dir:string ->
   unit ->
   Figures.series list
 (** One series per strategy (defaulting to the paper's seven) plus the
-    "Theoretical Model" series, over the [(x, platform)] sweep. *)
+    "Theoretical Model" series, over the [(x, platform)] sweep. With
+    [manifest_dir], per-replication run manifests land in one [x<value>]
+    subdirectory per sweep point (see {!Montecarlo.measure}). *)

@@ -1,0 +1,209 @@
+type t = {
+  name : string;
+  unit_label : string;
+  lo : float;
+  ratio : float;
+  log_ratio : float;
+  nbuckets : int;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable n : int;
+  mutable dropped : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(lo = 1.0) ?(ratio = 2.0) ?(buckets = 32) ~name ~unit_label () =
+  if lo <= 0.0 then invalid_arg "Histogram.create: lo must be positive";
+  if ratio <= 1.0 then invalid_arg "Histogram.create: ratio must exceed 1";
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+  {
+    name;
+    unit_label;
+    lo;
+    ratio;
+    log_ratio = log ratio;
+    nbuckets = buckets;
+    counts = Array.make buckets 0;
+    under = 0;
+    over = 0;
+    n = 0;
+    dropped = 0;
+    sum = 0.0;
+    vmin = nan;
+    vmax = nan;
+  }
+
+let name t = t.name
+let unit_label t = t.unit_label
+
+let bucket_index t v =
+  (* Bucket i covers [lo·ratio^i, lo·ratio^(i+1)). *)
+  int_of_float (Float.floor (log (v /. t.lo) /. t.log_ratio))
+
+let add t v =
+  if not (Float.is_finite v) then t.dropped <- t.dropped + 1
+  else begin
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if Float.is_nan t.vmin || v < t.vmin then t.vmin <- v;
+    if Float.is_nan t.vmax || v > t.vmax then t.vmax <- v;
+    if v < t.lo then t.under <- t.under + 1
+    else
+      let i = bucket_index t v in
+      (* Float.floor of a boundary value can land one off under rounding;
+         clamp into range. *)
+      let i = max 0 i in
+      if i >= t.nbuckets then t.over <- t.over + 1 else t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.n
+let dropped t = t.dropped
+let underflow t = t.under
+let overflow t = t.over
+let sum t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let min_value t = t.vmin
+let max_value t = t.vmax
+
+let bucket_bounds t ~i =
+  if i < 0 || i >= t.nbuckets then invalid_arg "Histogram.bucket_bounds";
+  (t.lo *. (t.ratio ** float_of_int i), t.lo *. (t.ratio ** float_of_int (i + 1)))
+
+let counts t = Array.copy t.counts
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+  if t.n = 0 then nan
+  else begin
+    let target = q *. float_of_int t.n in
+    let rank = ref 0.0 in
+    let result = ref nan in
+    if float_of_int t.under >= target && t.under > 0 then result := t.vmin
+    else begin
+      rank := float_of_int t.under;
+      (try
+         for i = 0 to t.nbuckets - 1 do
+           let c = float_of_int t.counts.(i) in
+           if c > 0.0 && !rank +. c >= target then begin
+             let blo, bhi = bucket_bounds t ~i in
+             let frac = (target -. !rank) /. c in
+             result := blo +. (frac *. (bhi -. blo));
+             raise Exit
+           end;
+           rank := !rank +. c
+         done;
+         (* Target falls in the overflow bucket (or rounding tail). *)
+         result := t.vmax
+       with Exit -> ())
+    end;
+    (* Never report beyond the observed extremes. *)
+    Float.min t.vmax (Float.max t.vmin !result)
+  end
+
+let render ?(max_rows = 12) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (%s): n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n" t.name
+       t.unit_label t.n (mean t) (quantile t 0.5) (quantile t 0.99) t.vmax);
+  if t.n > 0 then begin
+    let rows = ref [] in
+    if t.under > 0 then rows := (Printf.sprintf "< %.3g" t.lo, t.under) :: !rows;
+    for i = 0 to t.nbuckets - 1 do
+      if t.counts.(i) > 0 then begin
+        let blo, bhi = bucket_bounds t ~i in
+        rows := (Printf.sprintf "%.3g–%.3g" blo bhi, t.counts.(i)) :: !rows
+      end
+    done;
+    if t.over > 0 then
+      rows :=
+        (Printf.sprintf ">= %.3g" (t.lo *. (t.ratio ** float_of_int t.nbuckets)), t.over)
+        :: !rows;
+    let rows = List.rev !rows in
+    let rows =
+      if List.length rows <= max_rows then rows
+      else begin
+        (* Keep the most populated buckets, preserving order. *)
+        let sorted = List.sort (fun (_, a) (_, b) -> compare b a) rows in
+        let keep = List.filteri (fun i _ -> i < max_rows) sorted in
+        List.filter (fun r -> List.memq r keep) rows
+      end
+    in
+    let peak = List.fold_left (fun acc (_, c) -> max acc c) 1 rows in
+    let lwidth = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows in
+    List.iter
+      (fun (label, c) ->
+        let bar = max 1 (c * 40 / peak) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s %8d %s\n" lwidth label c (String.make bar '#')))
+      rows
+  end;
+  Buffer.contents buf
+
+let to_json t =
+  let buckets =
+    List.filter_map
+      (fun i ->
+        if t.counts.(i) = 0 then None
+        else
+          let blo, bhi = bucket_bounds t ~i in
+          Some (Json.Obj [ ("lo", Json.Float blo); ("hi", Json.Float bhi); ("count", Json.Int t.counts.(i)) ]))
+      (List.init t.nbuckets Fun.id)
+  in
+  Json.Obj
+    [
+      ("name", Json.String t.name);
+      ("unit", Json.String t.unit_label);
+      ("count", Json.Int t.n);
+      ("underflow", Json.Int t.under);
+      ("overflow", Json.Int t.over);
+      ("sum", Json.Float t.sum);
+      ("mean", Json.Float (mean t));
+      ("min", Json.Float t.vmin);
+      ("max", Json.Float t.vmax);
+      ("p50", Json.Float (quantile t 0.5));
+      ("p90", Json.Float (quantile t 0.9));
+      ("p99", Json.Float (quantile t 0.99));
+      ("buckets", Json.List buckets);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type registry = {
+  mutable hists : t list;  (* reversed creation order *)
+  counters : (string, float ref) Hashtbl.t;
+  mutable counter_order : string list;  (* reversed *)
+}
+
+let registry () = { hists = []; counters = Hashtbl.create 8; counter_order = [] }
+
+let hist reg ?lo ?ratio ?buckets ~name ~unit_label () =
+  match List.find_opt (fun h -> h.name = name) reg.hists with
+  | Some h -> h
+  | None ->
+      let h = create ?lo ?ratio ?buckets ~name ~unit_label () in
+      reg.hists <- h :: reg.hists;
+      h
+
+let incr reg name ?(by = 1.0) () =
+  match Hashtbl.find_opt reg.counters name with
+  | Some r -> r := !r +. by
+  | None ->
+      Hashtbl.add reg.counters name (ref by);
+      reg.counter_order <- name :: reg.counter_order
+
+let counters reg =
+  List.rev_map (fun n -> (n, !(Hashtbl.find reg.counters n))) reg.counter_order
+
+let hists reg = List.rev reg.hists
+
+let registry_to_json reg =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) (counters reg)));
+      ("histograms", Json.List (List.map to_json (hists reg)));
+    ]

@@ -1,0 +1,16 @@
+let standard reg =
+  let token = Histogram.hist reg ~lo:0.1 ~name:"token_wait_s" ~unit_label:"s" () in
+  let ckpt = Histogram.hist reg ~lo:1.0 ~name:"ckpt_io_s" ~unit_label:"s" () in
+  let dilation =
+    Histogram.hist reg ~lo:1.0 ~ratio:1.25 ~name:"io_dilation_x" ~unit_label:"x" ()
+  in
+  let lost = Histogram.hist reg ~lo:1.0 ~name:"lost_work_s" ~unit_label:"s" () in
+  {
+    Cocheck_sim.Simulator.on_token_wait = Histogram.add token;
+    on_ckpt_duration = Histogram.add ckpt;
+    on_io_dilation = Histogram.add dilation;
+    on_lost_work =
+      (fun v ->
+        Histogram.incr reg "kills" ();
+        Histogram.add lost v);
+  }

@@ -1,0 +1,12 @@
+(** The standard simulator instrumentation: wires
+    {!Cocheck_sim.Simulator.hooks} into a {!Histogram.registry}. *)
+
+val standard : Histogram.registry -> Cocheck_sim.Simulator.hooks
+(** Hooks feeding four histograms (created in the registry on first call):
+    {ul
+    {- [token_wait_s] — request-to-grant latency of token grants}
+    {- [ckpt_io_s] — wall-clock duration of committed checkpoint transfers}
+    {- [io_dilation_x] — actual over nominal duration of regular transfers
+       (1.0 = no interference)}
+    {- [lost_work_s] — work seconds rolled back per kill}}
+    plus a [kills] counter. *)

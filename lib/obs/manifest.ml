@@ -1,0 +1,277 @@
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module Metrics = Cocheck_sim.Metrics
+module Failure_trace = Cocheck_sim.Failure_trace
+module Burst_buffer = Cocheck_sim.Burst_buffer
+module Strategy = Cocheck_core.Strategy
+module Platform = Cocheck_model.Platform
+module App_class = Cocheck_model.App_class
+
+let schema = "cocheck.manifest"
+let version = 1
+
+let strategy_to_string = Strategy.name
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let platform_to_json (p : Platform.t) =
+  Json.Obj
+    [
+      ("name", Json.String p.Platform.name);
+      ("nodes", Json.Int p.nodes);
+      ("mem_per_node_gb", Json.Float p.mem_per_node_gb);
+      ("bandwidth_gbs", Json.Float p.bandwidth_gbs);
+      ("node_mtbf_s", Json.Float p.node_mtbf_s);
+    ]
+
+let app_class_to_json (c : App_class.t) =
+  Json.Obj
+    [
+      ("name", Json.String c.App_class.name);
+      ("workload_pct", Json.Float c.workload_pct);
+      ("walltime_s", Json.Float c.walltime_s);
+      ("nodes", Json.Int c.nodes);
+      ("input_pct", Json.Float c.input_pct);
+      ("output_pct", Json.Float c.output_pct);
+      ("ckpt_pct", Json.Float c.ckpt_pct);
+      ("steady_io_gb", Json.Float c.steady_io_gb);
+    ]
+
+let failure_dist_to_json (d : Failure_trace.distribution) =
+  match d with
+  | Failure_trace.Exponential -> Json.Obj [ ("law", Json.String "exponential") ]
+  | Failure_trace.Weibull { shape } ->
+      Json.Obj [ ("law", Json.String "weibull"); ("shape", Json.Float shape) ]
+  | Failure_trace.Lognormal { sigma } ->
+      Json.Obj [ ("law", Json.String "lognormal"); ("sigma", Json.Float sigma) ]
+
+let config_to_json (cfg : Config.t) =
+  let optional name = function None -> [] | Some j -> [ (name, j) ] in
+  Json.Obj
+    ([
+       ("platform", platform_to_json cfg.Config.platform);
+       ("classes", Json.List (List.map app_class_to_json cfg.classes));
+       ("strategy", Json.String (strategy_to_string cfg.strategy));
+       ("seed", Json.Int cfg.seed);
+       ("min_duration_s", Json.Float cfg.min_duration_s);
+       ("seg_start", Json.Float cfg.seg_start);
+       ("seg_end", Json.Float cfg.seg_end);
+       ("horizon", Json.Float cfg.horizon);
+       ("fill_factor", Json.Float cfg.fill_factor);
+       ("with_failures", Json.Bool cfg.with_failures);
+       ("failure_dist", failure_dist_to_json cfg.failure_dist);
+       ("interference_alpha", Json.Float cfg.interference_alpha);
+     ]
+    @ optional "burst_buffer"
+        (Option.map
+           (fun (bb : Burst_buffer.spec) ->
+             Json.Obj
+               [
+                 ("capacity_gb", Json.Float bb.Burst_buffer.capacity_gb);
+                 ("bandwidth_gbs", Json.Float bb.bandwidth_gbs);
+               ])
+           cfg.burst_buffer)
+    @ optional "multilevel"
+        (Option.map
+           (fun (m : Config.multilevel) ->
+             Json.Obj
+               [
+                 ("local_period_s", Json.Float m.Config.local_period_s);
+                 ("local_cost_s", Json.Float m.local_cost_s);
+                 ("local_recovery_s", Json.Float m.local_recovery_s);
+                 ("soft_fraction", Json.Float m.soft_fraction);
+               ])
+           cfg.multilevel))
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny error monad keeps the field extraction flat. *)
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "manifest: missing or invalid field %S" name)
+
+let f_float name j = field name Json.to_float_opt j
+let f_int name j = field name Json.to_int_opt j
+let f_bool name j = field name Json.to_bool_opt j
+let f_string name j = field name Json.to_string_opt j
+
+let platform_of_json j =
+  let* name = f_string "name" j in
+  let* nodes = f_int "nodes" j in
+  let* mem_per_node_gb = f_float "mem_per_node_gb" j in
+  let* bandwidth_gbs = f_float "bandwidth_gbs" j in
+  let* node_mtbf_s = f_float "node_mtbf_s" j in
+  Ok { Platform.name; nodes; mem_per_node_gb; bandwidth_gbs; node_mtbf_s }
+
+let app_class_of_json j =
+  let* name = f_string "name" j in
+  let* workload_pct = f_float "workload_pct" j in
+  let* walltime_s = f_float "walltime_s" j in
+  let* nodes = f_int "nodes" j in
+  let* input_pct = f_float "input_pct" j in
+  let* output_pct = f_float "output_pct" j in
+  let* ckpt_pct = f_float "ckpt_pct" j in
+  let* steady_io_gb = f_float "steady_io_gb" j in
+  Ok
+    {
+      App_class.name;
+      workload_pct;
+      walltime_s;
+      nodes;
+      input_pct;
+      output_pct;
+      ckpt_pct;
+      steady_io_gb;
+    }
+
+let failure_dist_of_json j =
+  let* law = f_string "law" j in
+  match law with
+  | "exponential" -> Ok Failure_trace.Exponential
+  | "weibull" ->
+      let* shape = f_float "shape" j in
+      Ok (Failure_trace.Weibull { shape })
+  | "lognormal" ->
+      let* sigma = f_float "sigma" j in
+      Ok (Failure_trace.Lognormal { sigma })
+  | other -> Error (Printf.sprintf "manifest: unknown failure law %S" other)
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* v = f x in
+      let* vs = collect f rest in
+      Ok (v :: vs)
+
+let optional_member name conv j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some sub ->
+      let* v = conv sub in
+      Ok (Some v)
+
+let config_of_json j =
+  let* platform = field "platform" (fun p -> Some p) j in
+  let* platform = platform_of_json platform in
+  let* class_list = field "classes" Json.to_list_opt j in
+  let* classes = collect app_class_of_json class_list in
+  let* strategy_s = f_string "strategy" j in
+  let* strategy =
+    match Strategy.of_string strategy_s with Ok s -> Ok s | Error e -> Error e
+  in
+  let* seed = f_int "seed" j in
+  let* min_duration_s = f_float "min_duration_s" j in
+  let* seg_start = f_float "seg_start" j in
+  let* seg_end = f_float "seg_end" j in
+  let* horizon = f_float "horizon" j in
+  let* fill_factor = f_float "fill_factor" j in
+  let* with_failures = f_bool "with_failures" j in
+  let* dist = field "failure_dist" (fun d -> Some d) j in
+  let* failure_dist = failure_dist_of_json dist in
+  let* interference_alpha = f_float "interference_alpha" j in
+  let* burst_buffer =
+    optional_member "burst_buffer"
+      (fun bb ->
+        let* capacity_gb = f_float "capacity_gb" bb in
+        let* bandwidth_gbs = f_float "bandwidth_gbs" bb in
+        Ok { Burst_buffer.capacity_gb; bandwidth_gbs })
+      j
+  in
+  let* multilevel =
+    optional_member "multilevel"
+      (fun m ->
+        let* local_period_s = f_float "local_period_s" m in
+        let* local_cost_s = f_float "local_cost_s" m in
+        let* local_recovery_s = f_float "local_recovery_s" m in
+        let* soft_fraction = f_float "soft_fraction" m in
+        Ok { Config.local_period_s; local_cost_s; local_recovery_s; soft_fraction })
+      j
+  in
+  Ok
+    {
+      Config.platform;
+      classes;
+      strategy;
+      seed;
+      min_duration_s;
+      seg_start;
+      seg_end;
+      horizon;
+      fill_factor;
+      with_failures;
+      failure_dist;
+      interference_alpha;
+      burst_buffer;
+      multilevel;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Result summary and assembly                                          *)
+(* ------------------------------------------------------------------ *)
+
+let named_floats pairs = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) pairs)
+
+let result_to_json (r : Simulator.result) =
+  Json.Obj
+    [
+      ("progress_ns", Json.Float r.Simulator.progress_ns);
+      ("waste_ns", Json.Float r.waste_ns);
+      ("enrolled_ns", Json.Float r.enrolled_ns);
+      ( "by_kind",
+        Json.Obj
+          (List.map (fun (k, v) -> (Metrics.kind_name k, Json.Float v)) r.by_kind) );
+      ("failures_seen", Json.Int r.failures_seen);
+      ("failures_hitting_jobs", Json.Int r.failures_hitting_jobs);
+      ("ckpts_committed", Json.Int r.ckpts_committed);
+      ("ckpts_aborted", Json.Int r.ckpts_aborted);
+      ("restarts", Json.Int r.restarts);
+      ("jobs_started", Json.Int r.jobs_started);
+      ("jobs_completed", Json.Int r.jobs_completed);
+      ("events", Json.Int r.events);
+      ("specs_total", Json.Int r.specs_total);
+      ("bb_absorbed", Json.Int r.bb_absorbed);
+      ("bb_spilled", Json.Int r.bb_spilled);
+      ("utilization", Json.Float r.utilization);
+      ("io_busy_fraction", Json.Float r.io_busy_fraction);
+      ("mean_ckpt_interval_s", named_floats r.mean_ckpt_interval);
+      ("mean_ckpt_wait_s", named_floats r.mean_ckpt_wait);
+      ( "restarts_by_class",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.restarts_by_class) );
+      ("lost_work_by_class", named_floats r.lost_work_by_class);
+    ]
+
+let make ~cfg ?timer ?result ?registry ?(extra = []) () =
+  let optional name = function None -> [] | Some j -> [ (name, j) ] in
+  Json.Obj
+    ([
+       ("schema", Json.String schema);
+       ("version", Json.Int version);
+       ("config", config_to_json cfg);
+     ]
+    @ optional "timings" (Option.map Timer.to_json timer)
+    @ optional "result" (Option.map result_to_json result)
+    @ optional "instrumentation" (Option.map Histogram.registry_to_json registry)
+    @ extra)
+
+let config_of_manifest j =
+  match Json.member "config" j with
+  | Some c -> config_of_json c
+  | None -> Error "manifest: no \"config\" section"
+
+let write ~path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty j))
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> Json.of_string s
+  | exception Sys_error e -> Error e

@@ -175,6 +175,11 @@ let abort_flow t f =
   end
 
 let active_count t = List.length t.flows
+
+let current_rate_gbs t =
+  List.fold_left (fun acc f -> acc +. f.rate) 0.0 t.flows
+
+let bandwidth_gbs t = t.bandwidth
 let active_rate t f = if f.live && List.memq f t.flows then Some f.rate else None
 let remaining_gb _t f = if f.live then Some f.remaining else None
 let flow_job f = f.job

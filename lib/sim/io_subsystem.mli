@@ -64,6 +64,15 @@ val active_count : t -> int
 val active_rate : t -> flow -> float option
 (** Current GB/s of a live flow (after the last settle). *)
 
+val current_rate_gbs : t -> float
+(** Aggregate granted rate across all live flows right now — the
+    instantaneous device utilization numerator for time-series probes.
+    Equals the configured bandwidth whenever flows are active under
+    [`Linear], less under [`Degraded]. *)
+
+val bandwidth_gbs : t -> float
+(** The configured aggregate bandwidth. *)
+
 val remaining_gb : t -> flow -> float option
 val flow_job : flow -> int
 val flow_kind : flow -> io_kind

@@ -34,6 +34,40 @@ type result = {
       (* raw node-seconds rolled back per class, not segment-clipped *)
 }
 
+type snapshot = {
+  snap_time : float;
+  free_nodes : int;
+  used_nodes : int;
+  queued_jobs : int;
+  running_insts : int;
+  computing : int;
+  in_io : int;
+  waiting : int;
+  token_queue : int;
+  token_busy : bool;
+  io_flows : int;
+  io_rate_gbs : float;
+  bandwidth_gbs : float;
+  progress_ns : float;
+  waste_ns : float;
+  waste_by_kind : (Metrics.kind * float) list;
+}
+
+type hooks = {
+  on_token_wait : float -> unit;
+  on_ckpt_duration : float -> unit;
+  on_io_dilation : float -> unit;
+  on_lost_work : float -> unit;
+}
+
+let no_hooks =
+  {
+    on_token_wait = ignore;
+    on_ckpt_duration = ignore;
+    on_io_dilation = ignore;
+    on_lost_work = ignore;
+  }
+
 (* A queued (re)submission. [remaining] is the work left after the last
    committed checkpoint; [recovery] marks a restart whose input read is
    failure-induced. *)
@@ -116,6 +150,7 @@ type w = {
   insts : (int, inst) Hashtbl.t;
   bb : Burst_buffer.t option;
   trace : Trace.t option;
+  hooks : hooks option;  (* None keeps the hot path allocation-free *)
   soft_rng : Rng.t;  (* classifies failures soft/hard under two-level CR *)
   mutable token_busy : bool;
   mutable next_inst : int;
@@ -312,10 +347,23 @@ and begin_blocking_io w inst kind volume =
   else begin
     let flow =
       Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind ~volume_gb:volume
-        ~on_complete:(fun () -> on_blocking_io_done w inst kind)
+        ~on_complete:(blocking_complete w inst kind ~volume)
     in
     inst.activity <- Doing_io (w.io, flow, kind)
   end
+
+(* Completion continuation for a blocking transfer; when instrumentation is
+   on, regular input/output transfers additionally report their dilation
+   factor (actual over nominal full-bandwidth duration). *)
+and blocking_complete w inst kind ~volume =
+  match w.hooks with
+  | Some h when (kind = Io.Input || kind = Io.Output) && volume > 0.0 ->
+      let t0 = now w in
+      let nominal = volume /. bandwidth w in
+      fun () ->
+        h.on_io_dilation ((now w -. t0) /. nominal);
+        on_blocking_io_done w inst kind
+  | _ -> fun () -> on_blocking_io_done w inst kind
 
 and release_token w inst =
   if inst.holds_token then begin
@@ -454,12 +502,21 @@ and on_ckpt_request w inst =
          snapshotting). *)
       assert false
 
+and ckpt_complete w inst =
+  match w.hooks with
+  | Some h ->
+      let t0 = now w in
+      fun () ->
+        h.on_ckpt_duration (now w -. t0);
+        on_ckpt_done w inst
+  | None -> fun () -> on_ckpt_done w inst
+
 and start_ckpt_flow w inst =
   emit_inst w inst Trace.Ckpt_started;
   inst.ckpt_content <- inst.work_done;
   let flow =
     Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind:Io.Ckpt
-      ~volume_gb:inst.spec.Jobgen.ckpt_gb ~on_complete:(fun () -> on_ckpt_done w inst)
+      ~volume_gb:inst.spec.Jobgen.ckpt_gb ~on_complete:(ckpt_complete w inst)
   in
   inst.activity <- Doing_io (w.io, flow, Io.Ckpt)
 
@@ -469,7 +526,7 @@ and start_bb_ckpt_flow w bb inst =
   let flow =
     Burst_buffer.write bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
       ~nodes:inst.spec.Jobgen.nodes ~volume_gb:inst.spec.Jobgen.ckpt_gb
-      ~on_complete:(fun () -> on_ckpt_done w inst)
+      ~on_complete:(ckpt_complete w inst)
   in
   inst.activity <- Doing_io (Burst_buffer.io bb, flow, Io.Ckpt)
 
@@ -579,13 +636,16 @@ and try_grant w =
         let inst = req.r_inst in
         inst.holds_token <- true;
         emit_inst w inst Trace.Token_granted;
+        (match w.hooks with
+        | Some h -> h.on_token_wait (now w -. req.r_at)
+        | None -> ());
         (match req.r_kind with
         | Req_io kind ->
             record_wait w inst ~from:inst.wait_start;
             let flow =
               Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind
-                ~volume_gb:req.r_volume ~on_complete:(fun () ->
-                  on_blocking_io_done w inst kind)
+                ~volume_gb:req.r_volume
+                ~on_complete:(blocking_complete w inst kind ~volume:req.r_volume)
             in
             inst.activity <- Doing_io (w.io, flow, kind)
         | Req_ckpt ->
@@ -648,14 +708,12 @@ let kill_inst w inst =
     else (inst.uncommitted, [])
   in
   let ci = inst.spec.Jobgen.class_index in
+  let lost_s = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost in
   w.restarts_by_class.(ci) <- w.restarts_by_class.(ci) + 1;
   w.lost_ns_by_class.(ci) <-
-    w.lost_ns_by_class.(ci)
-    +. float_of_int inst.spec.Jobgen.nodes
-       *. List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost;
-  emit_inst w inst
-    (Trace.Job_killed
-       { lost_work = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost });
+    w.lost_ns_by_class.(ci) +. (float_of_int inst.spec.Jobgen.nodes *. lost_s);
+  (match w.hooks with Some h -> h.on_lost_work lost_s | None -> ());
+  emit_inst w inst (Trace.Job_killed { lost_work = lost_s });
   inst.uncommitted <- lost;
   flush_uncommitted w inst Metrics.Lost_work;
   inst.uncommitted <- kept;
@@ -680,15 +738,20 @@ let kill_inst w inst =
 
 let handle_failure w (e : Failure_trace.event) =
   w.failures_seen <- w.failures_seen + 1;
-  emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node });
-  match Node_pool.owner w.pool e.node with
+  let victim =
+    Option.bind (Node_pool.owner w.pool e.node) (fun idx -> Hashtbl.find_opt w.insts idx)
+  in
+  (* Record the victim with the failure itself so traces can correlate a
+     kill with its cause; -1/-1 marks a failure striking an idle node. *)
+  (match victim with
+  | Some inst ->
+      emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node })
+  | None -> emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node }));
+  match victim with
   | None -> ()
-  | Some idx -> (
-      match Hashtbl.find_opt w.insts idx with
-      | None -> ()
-      | Some inst ->
-          w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
-          kill_inst w inst)
+  | Some inst ->
+      w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
+      kill_inst w inst
 
 let rec schedule_failures w trace =
   let t = Failure_trace.peek_time trace in
@@ -698,6 +761,55 @@ let rec schedule_failures w trace =
            let e = Failure_trace.next trace in
            handle_failure w e;
            schedule_failures w trace))
+
+(* ------------------------------------------------------------------ *)
+(* Time-series probes.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_of w =
+  let computing = ref 0 and in_io = ref 0 and waiting = ref 0 in
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst.activity with
+      | Computing | Computing_pending -> incr computing
+      | Doing_io _ -> incr in_io
+      | Waiting_io _ | Waiting_ckpt | Local_ckpt | Local_recovery -> incr waiting)
+    w.insts;
+  let token_queue =
+    Queue.fold (fun acc r -> if r.r_cancelled then acc else acc + 1) 0 w.fifo
+    + List.length w.lw_pool
+  in
+  {
+    snap_time = now w;
+    free_nodes = Node_pool.free_count w.pool;
+    used_nodes = Node_pool.used_count w.pool;
+    queued_jobs = List.length w.queue;
+    running_insts = Hashtbl.length w.insts;
+    computing = !computing;
+    in_io = !in_io;
+    waiting = !waiting;
+    token_queue;
+    token_busy = w.token_busy;
+    io_flows = Io.active_count w.io;
+    io_rate_gbs = Io.current_rate_gbs w.io;
+    bandwidth_gbs = bandwidth w;
+    progress_ns = Metrics.progress_ns w.metrics;
+    waste_ns = Metrics.waste_ns w.metrics;
+    waste_by_kind = Metrics.by_kind w.metrics;
+  }
+
+(* Probes ride the engine calendar at t = dt, 2dt, ...; read-only, so they
+   cannot perturb the schedule (FIFO ordering at equal times aside, the
+   probe closures touch no simulation state). *)
+let schedule_probes w ~dt observe =
+  if not (Float.is_finite dt && dt > 0.0) then
+    invalid_arg "Simulator.run: sample interval must be positive";
+  let rec tick _ =
+    observe (snapshot_of w);
+    if now w +. dt <= w.cfg.horizon then
+      ignore (Engine.schedule_after w.engine ~delay:dt tick)
+  in
+  ignore (Engine.schedule_after w.engine ~delay:dt tick)
 
 (* ------------------------------------------------------------------ *)
 (* Top level.                                                           *)
@@ -750,7 +862,7 @@ let period_of w_cfg ~optimal (c : App_class.t) =
       | Strategy.Optimal -> List.assoc c.App_class.name (Lazy.force optimal))
   | Strategy.Least_waste -> Daly.period_for c ~platform
 
-let run ?specs ?trace (cfg : Config.t) =
+let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
   Config.validate cfg;
   let specs = match specs with Some s -> s | None -> generate_specs cfg in
   let classes = Array.of_list cfg.classes in
@@ -797,6 +909,7 @@ let run ?specs ?trace (cfg : Config.t) =
       lw_pool = [];
       insts = Hashtbl.create 64;
       trace;
+      hooks;
       soft_rng = Rng.substream (Rng.create ~seed:cfg.seed) "failure-type";
       bb =
         (match cfg.strategy with
@@ -830,6 +943,9 @@ let run ?specs ?trace (cfg : Config.t) =
     in
     schedule_failures w trace
   end;
+  (match sample with
+  | Some (dt, observe) -> schedule_probes w ~dt observe
+  | None -> ());
   try_start w;
   Engine.run ~until:cfg.horizon engine;
   finalize w;
@@ -873,7 +989,7 @@ let run ?specs ?trace (cfg : Config.t) =
         (Array.mapi (fun i c -> (c.App_class.name, w.lost_ns_by_class.(i))) classes);
   }
 
-let waste_ratio ~strategy ~baseline =
+let waste_ratio ~(strategy : result) ~(baseline : result) =
   if baseline.progress_ns <= 0.0 then nan else strategy.waste_ns /. baseline.progress_ns
 
 let efficiency ~strategy ~baseline = 1.0 -. waste_ratio ~strategy ~baseline

@@ -45,15 +45,61 @@ type result = {
           segment-clipped) — which class bleeds the most under failures *)
 }
 
+type snapshot = {
+  snap_time : float;
+  free_nodes : int;
+  used_nodes : int;
+  queued_jobs : int;  (** submissions waiting for a node allocation *)
+  running_insts : int;  (** allocated instances, whatever their activity *)
+  computing : int;  (** instances making progress (pending request included) *)
+  in_io : int;  (** instances with an active transfer (any kind) *)
+  waiting : int;  (** instances blocked on the token or a local phase *)
+  token_queue : int;  (** pending token requests (checkpoint and blocking I/O) *)
+  token_busy : bool;
+  io_flows : int;  (** concurrent PFS flows *)
+  io_rate_gbs : float;  (** aggregate granted PFS rate right now *)
+  bandwidth_gbs : float;  (** the platform's aggregate bandwidth, for utilization *)
+  progress_ns : float;  (** cumulative, segment-clipped (see {!Metrics}) *)
+  waste_ns : float;
+  waste_by_kind : (Metrics.kind * float) list;  (** cumulative, all kinds *)
+}
+(** Platform state at a probe instant, for time-series sampling. *)
+
+type hooks = {
+  on_token_wait : float -> unit;
+      (** request-to-grant latency of every token grant (checkpoint and
+          blocking I/O), in seconds *)
+  on_ckpt_duration : float -> unit;
+      (** wall-clock duration of each committed checkpoint transfer *)
+  on_io_dilation : float -> unit;
+      (** actual over nominal (full-bandwidth) duration of each completed
+          regular input/output transfer; 1.0 = no interference *)
+  on_lost_work : float -> unit;  (** work seconds rolled back per kill *)
+}
+(** Instrumentation callbacks. All optional ({!no_hooks} is the default);
+    when absent the simulator's hot path allocates nothing for them. *)
+
+val no_hooks : hooks
+
 val generate_specs : Config.t -> Cocheck_model.Jobgen.spec array
 (** The job list a config's seed induces (substream ["jobs"]); exposed so
     experiments can share one list across strategies within a replication. *)
 
-val run : ?specs:Cocheck_model.Jobgen.spec array -> ?trace:Trace.t -> Config.t -> result
+val run :
+  ?specs:Cocheck_model.Jobgen.spec array ->
+  ?trace:Trace.t ->
+  ?hooks:hooks ->
+  ?sample:float * (snapshot -> unit) ->
+  Config.t ->
+  result
 (** Simulate. When [specs] is omitted they are generated from the config
     seed; failures always come from the seed's ["failures"] substream, so
     two runs of the same config are identical. Pass [trace] to collect a
-    structured event log of the run. *)
+    structured event log of the run, [hooks] to stream instrumentation
+    samples, and [sample:(dt, f)] to have [f] observe a {!snapshot} every
+    [dt] simulated seconds (requires [dt > 0]). Observability never
+    perturbs the simulation: probes are read-only and scheduled on the
+    same engine calendar. *)
 
 val waste_ratio : strategy:result -> baseline:result -> float
 (** Section 6's headline metric: strategy waste over baseline useful work,

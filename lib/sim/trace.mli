@@ -18,12 +18,15 @@ type kind =
   | Work_completed
   | Job_completed
   | Job_killed of { lost_work : float }
-  | Node_failure of { node : int }  (** platform event; [job]/[inst] are -1 *)
+  | Node_failure of { node : int }
+      (** platform event; [job]/[inst] carry the victim instance running on
+          the struck node, or -1/-1 when the node was idle — so
+          {!for_job} correlates kills with their cause *)
 
 type event = {
   time : float;
-  job : int;  (** stable job identity (spec id); -1 for platform events *)
-  inst : int;  (** running instance; -1 for platform events *)
+  job : int;  (** stable job identity (spec id); -1 when no job is involved *)
+  inst : int;  (** running instance; -1 when no job is involved *)
   kind : kind;
 }
 

@@ -1,0 +1,442 @@
+(* Tests for the observability layer: JSON serialization and parsing,
+   log-bucketed histograms, time-series clipping, trace export and the
+   manifest config round-trip. *)
+
+module Json = Cocheck_obs.Json
+module Timer = Cocheck_obs.Timer
+module Histogram = Cocheck_obs.Histogram
+module Series = Cocheck_obs.Series
+module Export = Cocheck_obs.Export
+module Manifest = Cocheck_obs.Manifest
+module Sampler = Cocheck_obs.Sampler
+module Trace = Cocheck_sim.Trace
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module Platform = Cocheck_model.Platform
+module Strategy = Cocheck_core.Strategy
+
+let checkf msg ?(eps = 1e-9) a b = Alcotest.(check (float eps)) msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_escaping () =
+  Alcotest.(check string) "plain" {|"abc"|} (Json.escape_string "abc");
+  Alcotest.(check string) "quote and backslash" {|"a\"b\\c"|}
+    (Json.escape_string "a\"b\\c");
+  Alcotest.(check string) "newline tab" {|"a\nb\tc"|} (Json.escape_string "a\nb\tc");
+  Alcotest.(check string) "control byte" {|"\u0001"|} (Json.escape_string "\x01");
+  Alcotest.(check string) "utf8 passes through" "\"\xc3\xa9\""
+    (Json.escape_string "\xc3\xa9")
+
+let test_json_render () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.List [ Json.Bool true; Json.Null; Json.Float 0.5 ]);
+        ("c", Json.String "x\"y");
+      ]
+  in
+  Alcotest.(check string) "compact" {|{"a":3,"b":[true,null,0.5],"c":"x\"y"}|}
+    (Json.to_string v)
+
+let test_json_parse_roundtrip () =
+  let vals =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int (-42);
+      Json.Float 3.141592653589793;
+      Json.Float 1e-300;
+      Json.String "he said \"no\"\n\ttab \x7f";
+      Json.List [ Json.Int 1; Json.String "two"; Json.List [] ];
+      Json.Obj [ ("nested", Json.Obj [ ("k", Json.Float 0.1) ]); ("l", Json.List [ Json.Null ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Error e -> Alcotest.failf "parse error: %s" e
+      | Ok v' ->
+          Alcotest.(check string) "reparse is identity" (Json.to_string v)
+            (Json.to_string v'))
+    vals
+
+let test_json_nonfinite () =
+  let s = Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float neg_infinity ]) in
+  Alcotest.(check string) "encoded as strings" {|["nan","inf","-inf"]|} s;
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok v -> (
+      match Json.to_list_opt v with
+      | Some [ a; b; c ] ->
+          Alcotest.(check bool) "nan back" true
+            (match Json.to_float_opt a with Some f -> Float.is_nan f | None -> false);
+          Alcotest.(check (option (float 0.0))) "inf back" (Some infinity)
+            (Json.to_float_opt b);
+          Alcotest.(check (option (float 0.0))) "-inf back" (Some neg_infinity)
+            (Json.to_float_opt c)
+      | _ -> Alcotest.fail "expected three elements")
+
+let test_json_float_precision =
+  QCheck.Test.make ~name:"json_float_roundtrip_is_exact" ~count:500
+    QCheck.(float)
+    (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok v -> Json.to_float_opt v = Some f
+      | Error _ -> false)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse failure on %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Timer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_accumulates () =
+  let t = Timer.create () in
+  Timer.record t ~name:"a" ~seconds:1.5;
+  Timer.record t ~name:"b" ~seconds:0.5;
+  Timer.record t ~name:"a" ~seconds:2.5;
+  (match Timer.phases t with
+  | [ ("a", sa, 2); ("b", sb, 1) ] ->
+      checkf "a sums" 4.0 sa;
+      checkf "b" 0.5 sb
+  | _ -> Alcotest.fail "expected phases a (2 calls) then b (1 call) in order");
+  checkf "total" 4.5 (Timer.total_s t);
+  let x = Timer.time t ~name:"c" (fun () -> 17) in
+  Alcotest.(check int) "thunk result" 17 x;
+  Alcotest.(check int) "three phases" 3 (List.length (Timer.phases t))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_bucket_edges () =
+  let h = Histogram.create ~lo:1.0 ~ratio:2.0 ~buckets:4 ~name:"h" ~unit_label:"s" () in
+  (* top boundary = 1·2^4 = 16 *)
+  Histogram.add h 0.0;    (* zero → underflow *)
+  Histogram.add h 0.5;    (* sub-bucket → underflow *)
+  Histogram.add h (-3.0); (* negative → underflow *)
+  Histogram.add h 1.0;    (* first bucket, left edge *)
+  Histogram.add h 1.999;  (* first bucket, right edge *)
+  Histogram.add h 2.0;    (* second bucket, left edge *)
+  Histogram.add h 15.9;   (* last bucket *)
+  Histogram.add h 16.0;   (* above top boundary → overflow *)
+  Histogram.add h 1e12;   (* far overflow *)
+  Histogram.add h nan;    (* dropped *)
+  Histogram.add h infinity;
+  Alcotest.(check int) "count excludes dropped" 9 (Histogram.count h);
+  Alcotest.(check int) "dropped" 2 (Histogram.dropped h);
+  Alcotest.(check int) "underflow" 3 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  Alcotest.(check (array int)) "bucket counts" [| 2; 1; 0; 1 |] (Histogram.counts h);
+  checkf "min" (-3.0) (Histogram.min_value h);
+  checkf "max" 1e12 (Histogram.max_value h);
+  let lo, hi = Histogram.bucket_bounds h ~i:2 in
+  checkf "bounds lo" 4.0 lo;
+  checkf "bounds hi" 8.0 hi
+
+let test_histogram_quantiles () =
+  let h = Histogram.create ~lo:1.0 ~ratio:2.0 ~buckets:10 ~name:"q" ~unit_label:"s" () in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Histogram.quantile h 0.5));
+  for _ = 1 to 100 do
+    Histogram.add h 3.0
+  done;
+  let p50 = Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "p50 inside [2,4) bucket" true (p50 >= 2.0 && p50 < 4.0);
+  checkf "mean exact" 3.0 (Histogram.mean h);
+  checkf "sum exact" 300.0 (Histogram.sum h)
+
+let test_histogram_registry () =
+  let reg = Histogram.registry () in
+  let a = Histogram.hist reg ~name:"alpha" ~unit_label:"s" () in
+  let a' = Histogram.hist reg ~name:"alpha" ~unit_label:"ignored" () in
+  Alcotest.(check bool) "find-or-create returns same handle" true (a == a');
+  Histogram.add a 2.0;
+  Histogram.incr reg "hits" ();
+  Histogram.incr reg "hits" ~by:2.0 ();
+  Alcotest.(check int) "one histogram" 1 (List.length (Histogram.hists reg));
+  (match Histogram.counters reg with
+  | [ ("hits", v) ] -> checkf "counter sums" 3.0 v
+  | _ -> Alcotest.fail "expected one counter");
+  match Json.member "histograms" (Histogram.registry_to_json reg) with
+  | Some (Json.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "registry json lists the histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_window_clipping () =
+  (* Samples at the segment boundaries stay; outside is clipped. *)
+  let s = Series.create ~t_min:10.0 ~t_max:20.0 ~fields:[ "v" ] () in
+  List.iter
+    (fun t -> Series.push s ~time:t [| t |])
+    [ 0.0; 9.999; 10.0; 15.0; 20.0; 20.001; 30.0 ];
+  Alcotest.(check int) "inside retained" 3 (Series.length s);
+  Alcotest.(check int) "outside clipped" 4 (Series.clipped s);
+  Alcotest.(check int) "nothing evicted" 0 (Series.dropped s);
+  Alcotest.(check (list (float 1e-9))) "boundary samples inclusive"
+    [ 10.0; 15.0; 20.0 ]
+    (List.map fst (Series.column s ~field:"v"))
+
+let test_series_ring_eviction () =
+  let s = Series.create ~capacity:3 ~fields:[ "a"; "b" ] () in
+  for i = 0 to 9 do
+    Series.push s ~time:(float_of_int i) [| float_of_int i; 0.0 |]
+  done;
+  Alcotest.(check int) "capacity retained" 3 (Series.length s);
+  Alcotest.(check int) "evictions counted" 7 (Series.dropped s);
+  Alcotest.(check (list (float 1e-9))) "newest kept in order" [ 7.0; 8.0; 9.0 ]
+    (List.map fst (Series.rows s))
+
+let test_series_csv_and_arity () =
+  let s = Series.create ~fields:[ "x"; "y" ] () in
+  Series.push s ~time:1.0 [| 0.25; 4.0 |];
+  Alcotest.(check string) "csv" "time,x,y\n1,0.25,4\n" (Series.to_csv s);
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (match Series.push s ~time:2.0 [| 1.0 |] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_series_sparkline () =
+  let s = Series.create ~fields:[ "v" ] () in
+  for i = 0 to 63 do
+    Series.push s ~time:(float_of_int i) [| float_of_int i |]
+  done;
+  let line = Series.sparkline s ~field:"v" ~width:8 in
+  (* 8 cells of 3-byte UTF-8 glyphs, monotone non-decreasing levels. *)
+  Alcotest.(check int) "8 glyphs" 24 (String.length line);
+  let empty = Series.create ~fields:[ "v" ] () in
+  Alcotest.(check string) "empty series blank" (String.make 8 ' ')
+    (Series.sparkline empty ~field:"v" ~width:8)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_export_jsonl () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.record t
+    { Trace.time = 0.0; job = 1; inst = 2;
+      kind = Trace.Job_started { restarts = 0; nodes = 512 } };
+  Trace.record t
+    { Trace.time = 5.0; job = 1; inst = 2; kind = Trace.Ckpt_committed { work = 60.0 } };
+  Trace.record t
+    { Trace.time = 9.0; job = -1; inst = -1; kind = Trace.Node_failure { node = 7 } };
+  let lines = String.split_on_char '\n' (String.trim (Export.jsonl_of_trace t)) in
+  Alcotest.(check int) "header + one line per event" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "unparseable line %S: %s" line e
+      | Ok _ -> ())
+    lines;
+  let header = Result.get_ok (Json.of_string (List.hd lines)) in
+  Alcotest.(check (option string)) "schema" (Some Export.schema)
+    (Option.bind (Json.member "schema" header) Json.to_string_opt);
+  Alcotest.(check (option (float 0.0))) "events" (Some 3.0)
+    (Option.bind (Json.member "events" header) Json.to_float_opt);
+  let failure = Result.get_ok (Json.of_string (List.nth lines 3)) in
+  Alcotest.(check (option (float 0.0))) "idle-node failure job -1" (Some (-1.0))
+    (Option.bind (Json.member "job" failure) Json.to_float_opt);
+  Alcotest.(check (option (float 0.0))) "node payload" (Some 7.0)
+    (Option.bind (Json.member "node" failure) Json.to_float_opt)
+
+let test_export_csv () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.record t
+    { Trace.time = 1.0; job = 3; inst = 4; kind = Trace.Job_killed { lost_work = 42.0 } };
+  let csv = Export.csv_of_trace t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "time,job,inst,kind,nodes,restarts,work,lost_work,node"
+    (List.hd lines);
+  Alcotest.(check bool) "lost_work column populated" true
+    (match lines with [ _; row ] -> String.length row > 0 &&
+        List.nth (String.split_on_char ',' row) 7 = "42" | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler on a real simulation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg strategy =
+  Config.make
+    ~platform:(Platform.cielo ~bandwidth_gbs:80.0 ())
+    ~strategy ~seed:3 ~days:1.0 ()
+
+let test_sampler_collects () =
+  let cfg = small_cfg Strategy.Least_waste in
+  let series, observe = Sampler.create () in
+  let dt = cfg.Config.horizon /. 50.0 in
+  let (_ : Simulator.result) = Simulator.run ~sample:(dt, observe) cfg in
+  Alcotest.(check bool) "samples collected" true (Series.length series >= 40);
+  Alcotest.(check bool) "at least 4 series beyond time" true
+    (List.length (Series.fields series) >= 4);
+  let used = List.map snd (Series.column series ~field:"used_nodes") in
+  Alcotest.(check bool) "platform is in use" true (List.exists (fun v -> v > 0.0) used);
+  (* Cumulative waste never decreases. *)
+  let waste = List.map snd (Series.column series ~field:"waste_ns") in
+  Alcotest.(check bool) "waste monotone" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) v -> (ok && v >= prev, v))
+          (true, neg_infinity) waste))
+
+let test_sampler_segment_clipping () =
+  let cfg = small_cfg Strategy.Least_waste in
+  let series, observe =
+    Sampler.create ~t_min:cfg.Config.seg_start ~t_max:cfg.Config.seg_end ()
+  in
+  let dt = cfg.Config.horizon /. 100.0 in
+  let (_ : Simulator.result) = Simulator.run ~sample:(dt, observe) cfg in
+  Alcotest.(check bool) "clipped some boundary samples" true (Series.clipped series > 0);
+  List.iter
+    (fun (t, _) ->
+      if t < cfg.Config.seg_start || t > cfg.Config.seg_end then
+        Alcotest.failf "sample at %g escaped the segment window" t)
+    (Series.rows series)
+
+let test_sampler_does_not_perturb () =
+  let cfg = small_cfg Strategy.Least_waste in
+  let plain = Simulator.run cfg in
+  let _, observe = Sampler.create () in
+  let sampled = Simulator.run ~sample:(cfg.Config.horizon /. 37.0, observe) cfg in
+  checkf "progress unchanged" plain.Simulator.progress_ns sampled.Simulator.progress_ns;
+  checkf "waste unchanged" plain.Simulator.waste_ns sampled.Simulator.waste_ns;
+  Alcotest.(check int) "ckpts unchanged" plain.Simulator.ckpts_committed
+    sampled.Simulator.ckpts_committed
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exotic_cfg () =
+  Config.make
+    ~platform:(Platform.prospective ~bandwidth_gbs:750.0 ~node_mtbf_years:7.5 ())
+    ~strategy:(Strategy.Ordered_nb Strategy.Daly) ~seed:97 ~days:11.0
+    ~fill_factor:1.25
+    ~failure_dist:(Cocheck_sim.Failure_trace.Weibull { shape = 0.7 })
+    ~interference_alpha:0.3
+    ~burst_buffer:{ Cocheck_sim.Burst_buffer.capacity_gb = 1000.0; bandwidth_gbs = 2000.0 }
+    ~multilevel:
+      { Config.local_period_s = 600.0; local_cost_s = 5.0; local_recovery_s = 30.0;
+        soft_fraction = 0.6 }
+    ()
+
+let test_manifest_config_roundtrip () =
+  List.iter
+    (fun cfg ->
+      match Manifest.config_of_json (Manifest.config_to_json cfg) with
+      | Error e -> Alcotest.failf "decode failed: %s" e
+      | Ok cfg' ->
+          Alcotest.(check bool) "exact Config.t round-trip" true (cfg = cfg'))
+    [ small_cfg Strategy.Least_waste; small_cfg Strategy.Baseline; exotic_cfg () ]
+
+let test_manifest_roundtrip_through_text () =
+  let cfg = exotic_cfg () in
+  let r = Simulator.run (small_cfg Strategy.Least_waste) in
+  let timer = Timer.create () in
+  Timer.record timer ~name:"simulate" ~seconds:1.25;
+  let reg = Histogram.registry () in
+  Histogram.add (Histogram.hist reg ~name:"h" ~unit_label:"s" ()) 2.0;
+  let m = Manifest.make ~cfg ~timer ~result:r ~registry:reg () in
+  (* Through the pretty printer and the parser, as `write`/`load` would. *)
+  match Json.of_string (Json.to_string_pretty m) with
+  | Error e -> Alcotest.failf "manifest reparse failed: %s" e
+  | Ok m' -> (
+      match Manifest.config_of_manifest m' with
+      | Error e -> Alcotest.failf "config_of_manifest failed: %s" e
+      | Ok cfg' ->
+          Alcotest.(check bool) "config survives text round-trip" true (cfg = cfg');
+          Alcotest.(check (option string)) "schema" (Some Manifest.schema)
+            (Option.bind (Json.member "schema" m') Json.to_string_opt);
+          Alcotest.(check bool) "result section present" true
+            (Json.member "result" m' <> None);
+          Alcotest.(check bool) "timings section present" true
+            (Json.member "timings" m' <> None);
+          Alcotest.(check bool) "instrumentation section present" true
+            (Json.member "instrumentation" m' <> None))
+
+let test_manifest_strategy_names_parse_back () =
+  List.iter
+    (fun s ->
+      match Strategy.of_string (Manifest.strategy_to_string s) with
+      | Ok s' -> Alcotest.(check bool) "name parses back" true (s = s')
+      | Error e -> Alcotest.failf "%s: %s" (Strategy.name s) e)
+    (Strategy.Baseline :: Strategy.paper_seven)
+
+let test_manifest_write_load () =
+  let path = Filename.temp_file "cocheck-manifest" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cfg = small_cfg Strategy.Least_waste in
+      Manifest.write ~path (Manifest.make ~cfg ());
+      match Manifest.load ~path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok m -> (
+          match Manifest.config_of_manifest m with
+          | Error e -> Alcotest.failf "decode failed: %s" e
+          | Ok cfg' ->
+              Alcotest.(check bool) "disk round-trip exact" true (cfg = cfg')))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "cocheck.obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "compact render" `Quick test_json_render;
+          Alcotest.test_case "parse round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ]
+        @ qsuite [ test_json_float_precision ] );
+      ( "timer",
+        [ Alcotest.test_case "accumulates phases" `Quick test_timer_accumulates ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "registry" `Quick test_histogram_registry;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "window clipping" `Quick test_series_window_clipping;
+          Alcotest.test_case "ring eviction" `Quick test_series_ring_eviction;
+          Alcotest.test_case "csv and arity" `Quick test_series_csv_and_arity;
+          Alcotest.test_case "sparkline" `Quick test_series_sparkline;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl" `Quick test_export_jsonl;
+          Alcotest.test_case "csv" `Quick test_export_csv;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "collects platform series" `Quick test_sampler_collects;
+          Alcotest.test_case "segment clipping" `Quick test_sampler_segment_clipping;
+          Alcotest.test_case "read-only probes" `Quick test_sampler_does_not_perturb;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "config round-trip" `Quick test_manifest_config_roundtrip;
+          Alcotest.test_case "text round-trip" `Quick test_manifest_roundtrip_through_text;
+          Alcotest.test_case "strategy names" `Quick test_manifest_strategy_names_parse_back;
+          Alcotest.test_case "write/load" `Quick test_manifest_write_load;
+        ] );
+    ]

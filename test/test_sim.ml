@@ -456,6 +456,61 @@ let test_config_validation () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Cocheck_sim.Trace
+
+let trace_event i =
+  { Trace.time = float_of_int i; job = i; inst = i; kind = Trace.Ckpt_requested }
+
+let test_trace_no_wrap () =
+  let t = Trace.create ~capacity:8 () in
+  for i = 0 to 4 do
+    Trace.record t (trace_event i)
+  done;
+  Alcotest.(check int) "length" 5 (Trace.length t);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped t);
+  Alcotest.(check (list int)) "order" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun e -> e.Trace.job) (Trace.events t))
+
+let test_trace_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record t (trace_event i)
+  done;
+  Alcotest.(check int) "capacity retained" 4 (Trace.length t);
+  Alcotest.(check int) "dropped = total - capacity" 6 (Trace.dropped t);
+  Alcotest.(check (list int)) "most recent, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Trace.job) (Trace.events t));
+  let times = List.map (fun e -> e.Trace.time) (Trace.events t) in
+  Alcotest.(check bool) "chronological" true (List.sort compare times = times)
+
+let test_trace_dump_header () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 0 to 6 do
+    Trace.record t (trace_event i)
+  done;
+  let dump = Trace.dump t in
+  let header = "(4 earlier events dropped)" in
+  Alcotest.(check bool) "dump announces drops" true
+    (String.length dump >= String.length header
+    && String.sub dump 0 (String.length header) = header);
+  let undropped = Trace.dump (Trace.create ~capacity:3 ()) in
+  Alcotest.(check string) "empty trace dumps nothing" "" undropped
+
+let test_trace_wrap_exactly_at_capacity () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 0 to 3 do
+    Trace.record t (trace_event i)
+  done;
+  Alcotest.(check int) "full but nothing dropped" 0 (Trace.dropped t);
+  Trace.record t (trace_event 4);
+  Alcotest.(check int) "one past capacity drops one" 1 (Trace.dropped t);
+  Alcotest.(check (list int)) "oldest evicted" [ 1; 2; 3; 4 ]
+    (List.map (fun e -> e.Trace.job) (Trace.events t))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -513,5 +568,12 @@ let () =
           Alcotest.test_case "baseline_of" `Quick test_config_baseline_of;
           Alcotest.test_case "prospective classes scaled" `Quick test_config_prospective_scales_classes;
           Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "no wraparound" `Quick test_trace_no_wrap;
+          Alcotest.test_case "wraparound keeps newest" `Quick test_trace_wraparound;
+          Alcotest.test_case "dump drop header" `Quick test_trace_dump_header;
+          Alcotest.test_case "boundary at capacity" `Quick test_trace_wrap_exactly_at_capacity;
         ] );
     ]
