@@ -22,6 +22,8 @@ let fig3_days = ref 20.0
 let fig3_iters = ref 8
 let seed = ref 42
 let modes = ref []
+let bench_out = ref ""
+let quota_s = ref 1.0
 
 let usage = "bench [table1|fig1|fig2|fig3|ablations|micro|all]* [options]"
 
@@ -33,6 +35,12 @@ let spec =
     ("--fig3-days", Arg.Set_float fig3_days, "segment days per fig3 probe (default 20)");
     ("--fig3-iters", Arg.Set_int fig3_iters, "fig3 bisection iterations (default 8)");
     ("--seed", Arg.Set_int seed, "root seed (default 42)");
+    ( "--quota",
+      Arg.Set_float quota_s,
+      "Bechamel time quota per microbenchmark, seconds (default 1.0)" );
+    ( "--bench-out",
+      Arg.Set_string bench_out,
+      "machine-readable results file (default BENCH_<timestamp>.json)" );
   ]
 
 let section title = Printf.printf "\n============ %s ============\n%!" title
@@ -46,6 +54,11 @@ let timed name f =
   let r = Cocheck_obs.Timer.time timer ~name f in
   Printf.printf "[%s took %.1fs]\n%!" name (Cocheck_obs.Timer.total_s timer -. before);
   r
+
+(* Every measurement lands here and, at exit, in the BENCH_*.json trajectory
+   file, so perf regressions can be diffed run over run by machines. *)
+let micro_estimates : (string * float option * float option) list ref = ref []
+let e2e_wall : (string * float) list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Paper artifacts                                                      *)
@@ -192,14 +205,44 @@ let micro_tests () =
            in
            ignore (Simulator.generate_specs cfg)))
   in
-  [ pqueue_churn; least_waste_select; lower_bound; daly_day; jobgen ]
+  (* n concurrent flows, then n completions: n+1 membership changes on the
+     shared PFS. The incremental scheduler should grow ~n log n here; the
+     retired full-rescan implementation grew ~n^3. *)
+  let io_rebalance n =
+    Test.make ~name:(Printf.sprintf "io-rebalance-%d-flows" n)
+      (Staged.stage (fun () ->
+           let engine = Cocheck_des.Engine.create () in
+           let metrics = Cocheck_sim.Metrics.create ~seg_start:0.0 ~seg_end:1e12 in
+           let io =
+             Cocheck_sim.Io_subsystem.create ~engine ~metrics ~bandwidth_gbs:100.0
+               ~sharing:`Linear
+           in
+           for i = 0 to n - 1 do
+             ignore
+               (Cocheck_sim.Io_subsystem.start_flow io ~job:i ~nodes:(1 + (i mod 7))
+                  ~kind:Cocheck_sim.Io_subsystem.Ckpt
+                  ~volume_gb:(1.0 +. float_of_int (i * 17 mod 29))
+                  ~on_complete:(fun () -> ()))
+           done;
+           Cocheck_des.Engine.run engine))
+  in
+  [
+    pqueue_churn;
+    least_waste_select;
+    lower_bound;
+    daly_day;
+    jobgen;
+    io_rebalance 16;
+    io_rebalance 128;
+    io_rebalance 1024;
+  ]
 
 let run_micro () =
   section "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second !quota_s) ~kde:None () in
   let tests = Test.make_grouped ~name:"cocheck" (micro_tests ()) in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =
@@ -209,20 +252,68 @@ let run_micro () =
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   List.iter
     (fun (name, r) ->
+      let ns = match Analyze.OLS.estimates r with Some [ e ] -> Some e | _ -> None in
+      let r2 = Analyze.OLS.r_square r in
+      micro_estimates := (name, ns, r2) :: !micro_estimates;
       let est =
-        match Analyze.OLS.estimates r with
-        | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
-        | _ -> "(no estimate)"
+        match ns with
+        | Some e -> Printf.sprintf "%12.1f ns/run" e
+        | None -> "(no estimate)"
       in
-      let r2 =
-        match Analyze.OLS.r_square r with
-        | Some v -> Printf.sprintf "r²=%.4f" v
-        | None -> ""
-      in
-      Printf.printf "  %-40s %s  %s\n" name est r2)
-    (List.sort compare rows)
+      let r2s = match r2 with Some v -> Printf.sprintf "r²=%.4f" v | None -> "" in
+      Printf.printf "  %-40s %s  %s\n" name est r2s)
+    (List.sort compare rows);
+  (* A 60-day Cielo campaign under Least-Waste is too slow to iterate under
+     Bechamel; one wall-clock shot gives the end-to-end trajectory number. *)
+  let e2e name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    e2e_wall := (name, dt) :: !e2e_wall;
+    Printf.printf "  %-40s %12.3f s (one shot)\n" name dt
+  in
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 () in
+  e2e "simulate-60day-least-waste" (fun () ->
+      let cfg = Config.make ~platform ~strategy:Strategy.Least_waste ~seed:7 ~days:60.0 () in
+      ignore (Simulator.run cfg))
 
 (* ------------------------------------------------------------------ *)
+
+let write_bench_json ~modes =
+  let module J = Cocheck_obs.Json in
+  let path =
+    if !bench_out <> "" then !bench_out
+    else Printf.sprintf "BENCH_%d.json" (int_of_float (Unix.time ()))
+  in
+  let opt_float = function Some v -> J.Float v | None -> J.Null in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "cocheck-bench/1");
+        ("unix_time", J.Float (Unix.time ()));
+        ("modes", J.List (List.map (fun m -> J.String m) modes));
+        ("seed", J.Int !seed);
+        ( "micro",
+          J.List
+            (List.rev_map
+               (fun (name, ns, r2) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("ns_per_run", opt_float ns);
+                     ("r_square", opt_float r2);
+                   ])
+               !micro_estimates) );
+        ( "end_to_end",
+          J.Obj (List.rev_map (fun (name, s) -> (name, J.Float s)) !e2e_wall) );
+        ("phases", Cocheck_obs.Timer.to_json timer);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench: results written to %s\n" path
 
 let () =
   Arg.parse spec (fun m -> modes := m :: !modes) usage;
@@ -240,4 +331,5 @@ let () =
   | _ ->
       section "Phase timings";
       print_string (Cocheck_obs.Timer.render timer));
+  write_bench_json ~modes;
   Printf.printf "\nbench: done\n"

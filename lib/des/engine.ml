@@ -23,6 +23,12 @@ let schedule_after t ~delay f =
   schedule_at t ~time:(t.clock +. delay) f
 
 let cancel t h = Pqueue.remove t.calendar h
+
+let reschedule t h ~time =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.reschedule: time %g precedes the clock %g" time t.clock);
+  Pqueue.update_priority t.calendar h ~priority:time
 let pending t h = Pqueue.mem t.calendar h
 let time_of t h = Pqueue.priority_of t.calendar h
 

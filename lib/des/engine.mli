@@ -26,6 +26,13 @@ val cancel : t -> handle -> bool
 (** Cancel a pending event. [false] when it already fired or was cancelled;
     idempotent. *)
 
+val reschedule : t -> handle -> time:float -> bool
+(** Move a still-pending event to a new absolute [time] in O(log n) without
+    the cancel + insert churn (the handle stays valid, and the event keeps
+    its FIFO rank among equal times). [false] when the event already fired
+    or was cancelled. Rescheduling into the past raises
+    [Invalid_argument]. *)
+
 val pending : t -> handle -> bool
 (** Whether the event behind the handle is still scheduled. *)
 

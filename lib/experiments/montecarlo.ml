@@ -53,7 +53,7 @@ let one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
   let baseline_cfg = cfg Strategy.Baseline in
   let specs = Simulator.generate_specs baseline_cfg in
   let baseline = Simulator.run ~specs baseline_cfg in
-  List.map
+  Array.map
     (fun strategy ->
       let r = Simulator.run ~specs (cfg strategy) in
       let ratio = Simulator.waste_ratio ~strategy:r ~baseline in
@@ -61,12 +61,14 @@ let one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
         (fun dir -> write_manifest ~dir ~rep ~cfg:(cfg strategy) ~result:r ~ratio)
         manifest_dir;
       ratio)
-    strategies
+    (Array.of_list strategies)
 
 let measure ~pool ~platform ?classes ~strategies ~reps ~seed ?(days = 60.0)
     ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ?manifest_dir () =
   if reps <= 0 then invalid_arg "Montecarlo.measure: reps must be positive";
   Option.iter ensure_dir manifest_dir;
+  (* rows is reps x strategies; the per-strategy columns come out with an
+     O(reps) array stride each, not a List.nth scan. *)
   let rows =
     Pool.init_array pool reps
       (one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
@@ -74,7 +76,7 @@ let measure ~pool ~platform ?classes ~strategies ~reps ~seed ?(days = 60.0)
   in
   List.mapi
     (fun i strategy ->
-      let ratios = Array.map (fun row -> List.nth row i) rows in
+      let ratios = Array.map (fun row -> row.(i)) rows in
       { strategy; ratios; stats = Stats.candlestick ratios })
     strategies
 

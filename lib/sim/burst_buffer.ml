@@ -24,7 +24,7 @@ type t = {
   drain_queue : record Queue.t;
   mutable draining : bool;
   newest : (int, record) Hashtbl.t;  (* owner -> newest committed copy *)
-  mutable in_flight : record list;  (* writes not yet completed *)
+  in_flight : (int, record) Hashtbl.t;  (* flow id -> write not yet completed *)
   mutable absorbed : int;
   mutable spilled : int;
 }
@@ -39,7 +39,7 @@ let create ~engine ~metrics ~pfs spec =
     drain_queue = Queue.create ();
     draining = false;
     newest = Hashtbl.create 16;
-    in_flight = [];
+    in_flight = Hashtbl.create 16;
     absorbed = 0;
     spilled = 0;
   }
@@ -76,7 +76,7 @@ let write t ~owner ~job ~nodes ~volume_gb ~on_complete =
         (match !record with
         | Some r ->
             r.state <- Resident;
-            t.in_flight <- List.filter (fun x -> x != r) t.in_flight;
+            Hashtbl.remove t.in_flight (Io.flow_id r.flow);
             Hashtbl.replace t.newest r.owner r;
             Queue.add r t.drain_queue;
             maybe_start_drain t
@@ -85,14 +85,14 @@ let write t ~owner ~job ~nodes ~volume_gb ~on_complete =
   in
   let r = { owner; nodes; volume = volume_gb; flow; state = Writing } in
   record := Some r;
-  t.in_flight <- r :: t.in_flight;
+  Hashtbl.replace t.in_flight (Io.flow_id flow) r;
   flow
 
 let abort_write t flow =
-  match List.find_opt (fun r -> r.flow == flow) t.in_flight with
+  match Hashtbl.find_opt t.in_flight (Io.flow_id flow) with
   | None -> ()
   | Some r ->
-      t.in_flight <- List.filter (fun x -> x != r) t.in_flight;
+      Hashtbl.remove t.in_flight (Io.flow_id flow);
       r.state <- Gone;
       t.used <- t.used -. r.volume;
       Io.abort_flow t.bb_io flow

@@ -1,4 +1,41 @@
+(* Incremental flow scheduler over virtual service time.
+
+   The naive design (kept as Io_reference) rescans every flow on every
+   membership change: settle all n flows, refold the weight total per flow
+   (O(n^2)) and rebuild every completion event (O(n log n) heap churn).
+   This engine exploits the structure of proportional sharing instead.
+
+   Under every discipline the instantaneous rate of a flow factors as
+   [rate_f = weight_f * slope(t)] where [slope] depends only on the *set*
+   of active flows — [B / W] for linear sharing over total weight
+   [W = sum nodes], [B / ((1 + alpha (k - 1)) W)] for the degraded model
+   with [k] flows, and [B] (with weight 1) for the unshared baseline. So
+   define the virtual clock [V(t) = integral of slope]: a piecewise-linear
+   function whose slope changes only when membership changes. The volume a
+   flow moves over any wall interval is [weight * (V(t1) - V(t0))], hence a
+   flow admitted at virtual time [v0] completes exactly when [V] reaches
+   [v0 + volume / weight] — a constant computed once at admission.
+
+   Bookkeeping per membership change is therefore O(log n): advance [V] by
+   [(now - t_last) * slope] (O(1)), add or subtract the flow's weight
+   (O(1)), insert into / remove from a min-heap keyed on the virtual
+   completion deadline (O(log n)), and retime the single calendar event
+   that tracks the heap minimum (O(log n) via Engine.reschedule). The DES
+   calendar holds exactly one completion event for the whole subsystem,
+   however many flows are in flight.
+
+   Metrics settle lazily: each flow remembers the wall/virtual time pair up
+   to which its ledger entries were emitted and emits the missing span at
+   completion, abort or an explicit [sync]. Ledger equivalence with the
+   eager reference holds because interval clipping is additive over
+   adjacent subintervals and, for regular transfers, the progress share of
+   a span is [nodes * moved / (B * span)] — recoverable from the virtual
+   clock alone. The only wrinkle is the measurement segment: a lazy span
+   crossing a segment edge needs [V] at the edge, so the subsystem records
+   the virtual clock when wall time first crosses each edge. *)
+
 module Engine = Cocheck_des.Engine
+module Pqueue = Cocheck_util.Pqueue
 
 type sharing = [ `Linear | `Degraded of float | `Unshared ]
 type io_kind = Input | Output | Ckpt | Recovery | Drain
@@ -16,11 +53,16 @@ type flow = {
   nodes : int;
   kind : io_kind;
   volume_gb : float;
-  mutable remaining : float;
-  mutable rate : float;  (* GB/s granted since the last settle *)
-  mutable last_settle : float;
-  mutable completion : Engine.handle option;
+  weight : float;  (* virtual-progress multiplier: nodes, or 1 unshared *)
+  v_start : float;  (* virtual clock at admission *)
+  v_done : float;  (* virtual completion deadline: v_start + volume/weight *)
+  mutable t_emit : float;  (* wall time up to which metrics are emitted *)
+  mutable v_emit : float;  (* virtual clock at t_emit *)
+  mutable committed_gb : float;  (* volume already credited to the total *)
   mutable live : bool;
+  mutable in_set : bool;  (* member of the shared pool (zero-volume: no) *)
+  mutable heap_h : flow Pqueue.handle option;
+  mutable zv_ev : Engine.handle option;  (* zero-volume immediate event *)
   on_complete : unit -> unit;
 }
 
@@ -29,133 +71,192 @@ type t = {
   metrics : Metrics.t;
   bandwidth : float;
   sharing : sharing;
-  mutable flows : flow list;
+  flows : (int, flow) Hashtbl.t;  (* live pool members by id *)
+  heap : flow Pqueue.t;  (* min virtual completion deadline *)
   mutable next_id : int;
-  mutable transferred_total : float;
+  mutable transferred_committed : float;
+  mutable vclock : float;  (* V at t_last *)
+  mutable t_last : float;
+  mutable total_weight : float;
+  mutable nflows : int;
+  mutable next_ev : Engine.handle option;  (* THE completion event *)
+  seg_lo : float;  (* measurement segment, cached from the ledger *)
+  seg_hi : float;
+  mutable v_seg_lo : float option;  (* V when wall time crossed seg_lo *)
+  mutable v_seg_hi : float option;
 }
 
 let create ~engine ~metrics ~bandwidth_gbs ~sharing =
   if bandwidth_gbs <= 0.0 then invalid_arg "Io_subsystem.create: bandwidth must be positive";
+  let seg_lo, seg_hi = Metrics.segment metrics in
+  let now = Engine.now engine in
   {
     engine;
     metrics;
     bandwidth = bandwidth_gbs;
     sharing;
-    flows = [];
+    flows = Hashtbl.create 64;
+    heap = Pqueue.create ();
     next_id = 0;
-    transferred_total = 0.0;
+    transferred_committed = 0.0;
+    vclock = 0.0;
+    t_last = now;
+    total_weight = 0.0;
+    nflows = 0;
+    next_ev = None;
+    seg_lo;
+    seg_hi;
+    v_seg_lo = (if now >= seg_lo then Some 0.0 else None);
+    v_seg_hi = (if now >= seg_hi then Some 0.0 else None);
   }
 
-(* Credit the elapsed slice of a flow to the metrics ledger. Regular
-   transfers are progress for the fraction of the elapsed time they would
-   have needed at full bandwidth; CR transfers are waste in full. *)
-let emit_metrics t f ~t0 ~t1 =
-  if t1 > t0 then
-    match f.kind with
-    | Input | Output ->
-        Metrics.record_weighted t.metrics ~t0 ~t1 ~nodes:f.nodes
-          ~fraction:(f.rate /. t.bandwidth) ~progress:Metrics.Regular_io
-          ~waste:Metrics.Io_dilation
-    | Ckpt -> Metrics.record t.metrics ~t0 ~t1 ~nodes:f.nodes Metrics.Ckpt_io
-    | Recovery -> Metrics.record t.metrics ~t0 ~t1 ~nodes:f.nodes Metrics.Recovery_io
-    | Drain -> () (* background traffic: no compute nodes are held *)
-
-let settle_flow t f =
-  let now = Engine.now t.engine in
-  let elapsed = now -. f.last_settle in
-  if elapsed > 0.0 then begin
-    let moved = Float.min f.remaining (f.rate *. elapsed) in
-    f.remaining <- f.remaining -. moved;
-    t.transferred_total <- t.transferred_total +. moved;
-    emit_metrics t f ~t0:f.last_settle ~t1:now;
-    f.last_settle <- now
-  end
-  else f.last_settle <- now
-
-let target_rate t f =
+let slope t =
   match t.sharing with
   | `Unshared -> t.bandwidth
-  | (`Linear | `Degraded _) as sharing ->
-      let total_weight =
-        List.fold_left (fun acc g -> acc +. float_of_int g.nodes) 0.0 t.flows
-      in
-      if total_weight <= 0.0 then t.bandwidth
-      else begin
-        let aggregate =
-          match sharing with
-          | `Linear -> t.bandwidth
-          | `Degraded alpha ->
-              (* Contention erodes the aggregate itself. *)
-              let k = float_of_int (List.length t.flows) in
-              t.bandwidth /. (1.0 +. (alpha *. Float.max 0.0 (k -. 1.0)))
-        in
-        aggregate *. float_of_int f.nodes /. total_weight
-      end
+  | `Linear -> if t.total_weight > 0.0 then t.bandwidth /. t.total_weight else 0.0
+  | `Degraded alpha ->
+      if t.total_weight > 0.0 then
+        let k = float_of_int t.nflows in
+        t.bandwidth /. ((1.0 +. (alpha *. Float.max 0.0 (k -. 1.0))) *. t.total_weight)
+      else 0.0
 
-let cancel_completion t f =
-  match f.completion with
-  | Some h ->
-      ignore (Engine.cancel t.engine h);
-      f.completion <- None
-  | None -> ()
+(* Bring the virtual clock to the engine's current time. Must run before
+   any membership change, while the old slope is still in force. *)
+let advance t =
+  let now = Engine.now t.engine in
+  if now > t.t_last then begin
+    let s = slope t in
+    if t.v_seg_lo = None && now >= t.seg_lo then
+      t.v_seg_lo <- Some (t.vclock +. ((t.seg_lo -. t.t_last) *. s));
+    if t.v_seg_hi = None && now >= t.seg_hi then
+      t.v_seg_hi <- Some (t.vclock +. ((t.seg_hi -. t.t_last) *. s));
+    t.vclock <- t.vclock +. ((now -. t.t_last) *. s);
+    t.t_last <- now
+  end
 
-let rec complete t f =
-  (* Settle below moved the last bytes; force the tail to zero against
-     floating-point residue. *)
-  f.remaining <- 0.0;
-  remove_flow t f;
-  f.on_complete ()
+(* Ledger entry for a regular transfer over the unemitted span, clipped to
+   the segment. The progress fraction is the flow's mean achieved rate over
+   the clipped span relative to nominal bandwidth, read off the virtual
+   clock; the clamp absorbs float residue on very short spans. *)
+let emit_weighted t f ~now =
+  let a = Float.max f.t_emit t.seg_lo and b = Float.min now t.seg_hi in
+  if b > a then begin
+    let va =
+      if f.t_emit >= t.seg_lo then f.v_emit
+      else Option.value t.v_seg_lo ~default:f.v_emit
+    in
+    let vb =
+      if now <= t.seg_hi then t.vclock else Option.value t.v_seg_hi ~default:t.vclock
+    in
+    let fraction = f.weight *. (vb -. va) /. (t.bandwidth *. (b -. a)) in
+    let fraction = Float.min 1.0 (Float.max 0.0 fraction) in
+    Metrics.record_weighted t.metrics ~t0:a ~t1:b ~nodes:f.nodes ~fraction
+      ~progress:Metrics.Regular_io ~waste:Metrics.Io_dilation
+  end
 
-and schedule_completion t f =
-  cancel_completion t f;
-  let eta = if f.rate > 0.0 then f.remaining /. f.rate else infinity in
-  if Float.is_finite eta then
-    f.completion <-
-      Some
-        (Engine.schedule_after t.engine ~delay:eta (fun _ ->
-             f.completion <- None;
-             settle_flow t f;
-             complete t f))
+(* Emit the pending ledger span and credit moved volume; requires [advance]
+   to have run, so the clock pair (t_last, vclock) is current. *)
+let settle_flow t f =
+  let now = t.t_last in
+  if now > f.t_emit then begin
+    (match f.kind with
+    | Input | Output -> emit_weighted t f ~now
+    | Ckpt -> Metrics.record t.metrics ~t0:f.t_emit ~t1:now ~nodes:f.nodes Metrics.Ckpt_io
+    | Recovery ->
+        Metrics.record t.metrics ~t0:f.t_emit ~t1:now ~nodes:f.nodes Metrics.Recovery_io
+    | Drain -> () (* background traffic: no compute nodes are held *));
+    f.t_emit <- now;
+    f.v_emit <- t.vclock
+  end;
+  let moved = Float.min f.volume_gb (f.weight *. (t.vclock -. f.v_start)) in
+  if moved > f.committed_gb then begin
+    t.transferred_committed <- t.transferred_committed +. (moved -. f.committed_gb);
+    f.committed_gb <- moved
+  end
 
-and rebalance t =
-  List.iter (settle_flow t) t.flows;
-  List.iter
-    (fun f ->
-      f.rate <- target_rate t f;
-      schedule_completion t f)
-    t.flows
+let commit_full t f =
+  if f.volume_gb > f.committed_gb then begin
+    t.transferred_committed <- t.transferred_committed +. (f.volume_gb -. f.committed_gb);
+    f.committed_gb <- f.volume_gb
+  end
 
-and remove_flow t f =
+let drop t f =
   f.live <- false;
-  cancel_completion t f;
-  t.flows <- List.filter (fun g -> g.id <> f.id) t.flows;
-  rebalance t
+  f.in_set <- false;
+  (match f.heap_h with
+  | Some h ->
+      ignore (Pqueue.remove t.heap h);
+      f.heap_h <- None
+  | None -> ());
+  Hashtbl.remove t.flows f.id;
+  t.total_weight <- t.total_weight -. f.weight;
+  t.nflows <- t.nflows - 1;
+  if t.nflows = 0 then t.total_weight <- 0.0
+
+(* Retime the single completion event to the heap minimum. Simultaneous
+   completions resolve as a cascade of zero-delay events, preserving the
+   one-event invariant. *)
+let rec reschedule_next t =
+  match Pqueue.peek t.heap with
+  | None -> (
+      match t.next_ev with
+      | Some h ->
+          ignore (Engine.cancel t.engine h);
+          t.next_ev <- None
+      | None -> ())
+  | Some (v_min, _) -> (
+      let time = t.t_last +. (Float.max 0.0 (v_min -. t.vclock) /. slope t) in
+      match t.next_ev with
+      | Some h when Engine.time_of t.engine h = Some time -> ()
+      | Some h when Engine.reschedule t.engine h ~time -> ()
+      | _ -> t.next_ev <- Some (Engine.schedule_at t.engine ~time (on_next_completion t)))
+
+and on_next_completion t _engine =
+  t.next_ev <- None;
+  advance t;
+  match Pqueue.pop t.heap with
+  | None -> ()
+  | Some (_v, f) ->
+      f.heap_h <- None;
+      settle_flow t f;
+      commit_full t f;
+      drop t f;
+      reschedule_next t;
+      f.on_complete ()
 
 let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
   if nodes <= 0 then invalid_arg "Io_subsystem.start_flow: non-positive node count";
   if volume_gb < 0.0 then invalid_arg "Io_subsystem.start_flow: negative volume";
-  let f =
-    {
-      id = t.next_id;
-      job;
-      nodes;
-      kind;
-      volume_gb;
-      remaining = volume_gb;
-      rate = 0.0;
-      last_settle = Engine.now t.engine;
-      completion = None;
-      live = true;
-      on_complete;
-    }
-  in
-  t.next_id <- t.next_id + 1;
+  let now = Engine.now t.engine in
+  let id = t.next_id in
+  t.next_id <- id + 1;
   if volume_gb = 0.0 then begin
-    (* Complete through the calendar so observers see a consistent order. *)
-    f.completion <-
+    (* Complete through the calendar so observers see a consistent order;
+       the flow never joins the shared pool. *)
+    let f =
+      {
+        id;
+        job;
+        nodes;
+        kind;
+        volume_gb;
+        weight = 0.0;
+        v_start = 0.0;
+        v_done = 0.0;
+        t_emit = now;
+        v_emit = 0.0;
+        committed_gb = 0.0;
+        live = true;
+        in_set = false;
+        heap_h = None;
+        zv_ev = None;
+        on_complete;
+      }
+    in
+    f.zv_ev <-
       Some
         (Engine.schedule_after t.engine ~delay:0.0 (fun _ ->
-             f.completion <- None;
+             f.zv_ev <- None;
              if f.live then begin
                f.live <- false;
                f.on_complete ()
@@ -163,25 +264,92 @@ let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
     f
   end
   else begin
-    t.flows <- f :: t.flows;
-    rebalance t;
+    advance t;
+    let weight =
+      match t.sharing with
+      | `Unshared -> 1.0
+      | `Linear | `Degraded _ -> float_of_int nodes
+    in
+    let f =
+      {
+        id;
+        job;
+        nodes;
+        kind;
+        volume_gb;
+        weight;
+        v_start = t.vclock;
+        v_done = t.vclock +. (volume_gb /. weight);
+        t_emit = now;
+        v_emit = t.vclock;
+        committed_gb = 0.0;
+        live = true;
+        in_set = true;
+        heap_h = None;
+        zv_ev = None;
+        on_complete;
+      }
+    in
+    Hashtbl.replace t.flows id f;
+    t.total_weight <- t.total_weight +. weight;
+    t.nflows <- t.nflows + 1;
+    f.heap_h <- Some (Pqueue.add t.heap ~priority:f.v_done f);
+    reschedule_next t;
     f
   end
 
 let abort_flow t f =
-  if f.live then begin
-    settle_flow t f;
-    remove_flow t f
-  end
+  if f.live then
+    if f.in_set then begin
+      advance t;
+      settle_flow t f;
+      drop t f;
+      reschedule_next t
+    end
+    else begin
+      (match f.zv_ev with
+      | Some h ->
+          ignore (Engine.cancel t.engine h);
+          f.zv_ev <- None
+      | None -> ());
+      f.live <- false
+    end
 
-let active_count t = List.length t.flows
+let sync t =
+  advance t;
+  Hashtbl.iter (fun _ f -> settle_flow t f) t.flows
+
+let active_count t = t.nflows
 
 let current_rate_gbs t =
-  List.fold_left (fun acc f -> acc +. f.rate) 0.0 t.flows
+  if t.nflows = 0 then 0.0
+  else
+    match t.sharing with
+    | `Linear -> t.bandwidth
+    | `Degraded alpha ->
+        t.bandwidth /. (1.0 +. (alpha *. Float.max 0.0 (float_of_int t.nflows -. 1.0)))
+    | `Unshared -> t.bandwidth *. float_of_int t.nflows
 
 let bandwidth_gbs t = t.bandwidth
-let active_rate t f = if f.live && List.memq f t.flows then Some f.rate else None
-let remaining_gb _t f = if f.live then Some f.remaining else None
+let active_rate t f = if f.live && f.in_set then Some (f.weight *. slope t) else None
+
+(* Virtual clock extrapolated to the present without mutating state: the
+   slope is constant since the last membership change. *)
+let vnow t = t.vclock +. ((Engine.now t.engine -. t.t_last) *. slope t)
+
+let remaining_gb t f =
+  if not f.live then None
+  else if not f.in_set then Some 0.0
+  else Some (Float.max 0.0 (f.volume_gb -. (f.weight *. (vnow t -. f.v_start))))
+
 let flow_job f = f.job
 let flow_kind f = f.kind
-let transferred_gb t = t.transferred_total
+let flow_id f = f.id
+
+let transferred_gb t =
+  let v = vnow t in
+  Hashtbl.fold
+    (fun _ f acc ->
+      let moved = Float.min f.volume_gb (f.weight *. (v -. f.v_start)) in
+      acc +. Float.max 0.0 (moved -. f.committed_gb))
+    t.flows t.transferred_committed

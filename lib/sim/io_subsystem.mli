@@ -17,12 +17,19 @@
     {- [`Unshared]: every flow gets the full aggregate bandwidth regardless
        of concurrency — the "no interference" baseline runs.}}
 
-    On every membership change the subsystem {e settles} all active flows
-    (accrues transferred volume at the old rates, emitting metrics), then
-    recomputes rates and completion events. Regular transfers are credited
-    to {!Metrics.Regular_io} at their nominal-rate share and to
-    {!Metrics.Io_dilation} for the remainder; checkpoint and recovery flows
-    are pure waste. *)
+    Regular transfers are credited to {!Metrics.Regular_io} at their
+    nominal-rate share and to {!Metrics.Io_dilation} for the remainder;
+    checkpoint and recovery flows are pure waste.
+
+    The implementation is incremental: flow progress is tracked in virtual
+    service time (under proportional sharing every rate factors as
+    [weight x slope(t)] with a slope common to all flows), so a membership
+    change costs O(log n) — advance the virtual clock, adjust the weight
+    total, touch a min-heap of virtual completion deadlines and retime the
+    {e single} calendar event that tracks the heap minimum. Ledger entries
+    settle lazily, at flow completion/abort or an explicit {!sync}; ledger
+    totals match the eager full-rescan reference ({!Io_reference}) within
+    float tolerance, enforced by a differential test. *)
 
 type sharing = [ `Linear | `Degraded of float | `Unshared ]
 
@@ -74,8 +81,23 @@ val bandwidth_gbs : t -> float
 (** The configured aggregate bandwidth. *)
 
 val remaining_gb : t -> flow -> float option
+(** Volume left on a live flow as of the current simulation time. *)
+
 val flow_job : flow -> int
 val flow_kind : flow -> io_kind
 
+val flow_id : flow -> int
+(** Subsystem-unique id, assigned at [start_flow] in arrival order. Stable
+    key for external per-flow tables (e.g. the burst buffer's in-flight
+    index). *)
+
+val sync : t -> unit
+(** Force pending ledger entries out to {!Metrics} for every live flow, up
+    to the current simulation time. Metrics settle lazily (at completion or
+    abort); call this before reading the ledger mid-run — time-series
+    probes do. Idempotent at a fixed time; does not perturb flow
+    schedules. *)
+
 val transferred_gb : t -> float
-(** Aggregate volume actually moved so far, for conservation tests. *)
+(** Aggregate volume actually moved so far (committed plus in-flight), for
+    conservation tests and device-utilization summaries. *)

@@ -1,47 +1,81 @@
+(* Range-based space sharing: allocations and the free pool are lists of
+   disjoint [lo, lo+len) ranges, so alloc/release/owner cost scales with
+   the handful of live fragments rather than the node count of the
+   machine. This is hot: every failure kills and restarts a job spanning
+   thousands of nodes, and per-node bookkeeping dominated whole-campaign
+   profiles. *)
+
+type range = { lo : int; len : int }
+
+type allocation = { job : int; ranges : range list; size : int }
+
 type t = {
-  owners : int array;  (* -1 = free *)
-  free_stack : int array;
-  mutable free_top : int;  (* number of free nodes; stack grows downward from 0 *)
+  total : int;
+  mutable free : range list;  (* sorted by [lo], coalesced, disjoint *)
+  mutable free_n : int;
+  mutable used : allocation list;  (* live allocations, unordered *)
 }
 
 let create ~nodes =
   if nodes <= 0 then invalid_arg "Node_pool.create: nodes must be positive";
-  {
-    owners = Array.make nodes (-1);
-    free_stack = Array.init nodes (fun i -> i);
-    free_top = nodes;
-  }
+  { total = nodes; free = [ { lo = 0; len = nodes } ]; free_n = nodes; used = [] }
 
-let total t = Array.length t.owners
-let free_count t = t.free_top
-let used_count t = total t - t.free_top
+let total t = t.total
+let free_count t = t.free_n
+let used_count t = t.total - t.free_n
+let size a = a.size
+
+let to_list a =
+  List.concat_map (fun r -> List.init r.len (fun i -> r.lo + i)) a.ranges
 
 let alloc t ~job ~count =
   if count <= 0 then invalid_arg "Node_pool.alloc: count must be positive";
   if job < 0 then invalid_arg "Node_pool.alloc: negative job id";
-  if count > t.free_top then None
+  if count > t.free_n then None
   else begin
-    let ids = Array.make count 0 in
-    for i = 0 to count - 1 do
-      t.free_top <- t.free_top - 1;
-      let node = t.free_stack.(t.free_top) in
-      ids.(i) <- node;
-      t.owners.(node) <- job
-    done;
-    Some ids
+    (* First fit: consume leading free ranges, splitting the last. The
+       taken list inherits the free list's ordering. *)
+    let rec take need = function
+      | [] -> assert false (* free_n said there was room *)
+      | r :: rest ->
+          if r.len > need then
+            ([ { r with len = need } ], { lo = r.lo + need; len = r.len - need } :: rest)
+          else if r.len = need then ([ r ], rest)
+          else
+            let got, rest' = take (need - r.len) rest in
+            (r :: got, rest')
+    in
+    let got, free' = take count t.free in
+    t.free <- free';
+    t.free_n <- t.free_n - count;
+    let a = { job; ranges = got; size = count } in
+    t.used <- a :: t.used;
+    Some a
   end
 
-let release t ids =
-  Array.iter
-    (fun node ->
-      if node < 0 || node >= total t then invalid_arg "Node_pool.release: bad node id";
-      if t.owners.(node) = -1 then invalid_arg "Node_pool.release: node already free";
-      t.owners.(node) <- -1;
-      t.free_stack.(t.free_top) <- node;
-      t.free_top <- t.free_top + 1)
-    ids
+let release t a =
+  let rec remove = function
+    | [] -> invalid_arg "Node_pool.release: node already free"
+    | x :: rest -> if x == a then rest else x :: remove rest
+  in
+  t.used <- remove t.used;
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | (x :: xr as xs), (y :: yr as ys) ->
+        if x.lo <= y.lo then x :: merge xr ys else y :: merge xs yr
+  in
+  let rec coalesce = function
+    | a :: b :: rest ->
+        if a.lo + a.len > b.lo then invalid_arg "Node_pool.release: node already free"
+        else if a.lo + a.len = b.lo then coalesce ({ lo = a.lo; len = a.len + b.len } :: rest)
+        else a :: coalesce (b :: rest)
+    | l -> l
+  in
+  t.free <- coalesce (merge t.free a.ranges);
+  t.free_n <- t.free_n + a.size
 
 let owner t node =
-  if node < 0 || node >= total t then invalid_arg "Node_pool.owner: bad node id";
-  let o = t.owners.(node) in
-  if o = -1 then None else Some o
+  if node < 0 || node >= t.total then invalid_arg "Node_pool.owner: bad node id";
+  let covers a = List.exists (fun r -> node >= r.lo && node < r.lo + r.len) a.ranges in
+  match List.find_opt covers t.used with Some a -> Some a.job | None -> None

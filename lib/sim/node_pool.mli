@@ -1,21 +1,34 @@
 (** Space-shared node allocation with per-node ownership, so failure events
     (which strike a uniformly random node) can be mapped to the job running
-    there. *)
+    there.
+
+    Internally range-based: an allocation is a short list of contiguous
+    node intervals, and alloc/release/owner cost O(live fragments) instead
+    of O(nodes touched) — jobs span thousands of nodes and churn on every
+    failure, so per-node bookkeeping was a whole-campaign hot spot. *)
 
 type t
+
+type allocation
+(** A job's node grant. Opaque; pass it back to {!release}. *)
 
 val create : nodes:int -> t
 val total : t -> int
 val free_count : t -> int
 val used_count : t -> int
 
-val alloc : t -> job:int -> count:int -> int array option
+val alloc : t -> job:int -> count:int -> allocation option
 (** Allocate [count] nodes to [job]; [None] when not enough are free.
-    Returned ids are the allocated nodes. Requires [count > 0]. *)
+    Requires [count > 0]. *)
 
-val release : t -> int array -> unit
-(** Free previously allocated nodes. Raises [Invalid_argument] when a node
-    is already free (double release). *)
+val release : t -> allocation -> unit
+(** Free a previous grant. Raises [Invalid_argument] on double release. *)
 
 val owner : t -> int -> int option
 (** The job occupying a node, if any. *)
+
+val size : allocation -> int
+(** Number of nodes in the grant. *)
+
+val to_list : allocation -> int list
+(** The concrete node ids of a grant, ascending (test/debug aid; O(size)). *)

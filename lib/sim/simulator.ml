@@ -96,7 +96,7 @@ type inst = {
   total_work : float;
   entry_has_ckpt : bool;
   restarts : int;
-  nodes : int array;
+  nodes : Node_pool.allocation;
   start_time : float;
   period : float;  (* P_i under the strategy's period rule *)
   ckpt_nominal : float;  (* C_i at full bandwidth *)
@@ -767,6 +767,10 @@ let rec schedule_failures w trace =
 (* ------------------------------------------------------------------ *)
 
 let snapshot_of w =
+  (* Ledger entries settle lazily in the flow scheduler; flush both
+     subsystems so the probe reads current totals. *)
+  Io.sync w.io;
+  (match w.bb with Some bb -> Io.sync (Burst_buffer.io bb) | None -> ());
   let computing = ref 0 and in_io = ref 0 and waiting = ref 0 in
   Hashtbl.iter
     (fun _ inst ->

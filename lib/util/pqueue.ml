@@ -46,13 +46,12 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let ensure_capacity t =
+(* The incoming entry doubles as filler for the unused tail slots, so the
+   array never holds a fabricated value. *)
+let ensure_capacity t filler =
   let cap = Array.length t.data in
   if t.size >= cap then begin
     let new_cap = if cap = 0 then 16 else cap * 2 in
-    (* Dummy extension slots reuse entry 0 as filler; they are never read
-       while size < capacity is maintained. *)
-    let filler = if t.size > 0 then t.data.(0) else Obj.magic () in
     let data = Array.make new_cap filler in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
@@ -62,8 +61,7 @@ let add t ~priority value =
   let handle = { pos = -1 } in
   let e = { priority; seq = t.next_seq; value; handle } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e;
-  ensure_capacity t;
+  ensure_capacity t e;
   set t t.size e;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
@@ -100,6 +98,18 @@ let remove t h =
   else false
 
 let priority_of t h = if mem t h then Some t.data.(h.pos).priority else None
+
+let update_priority t h ~priority =
+  if mem t h then begin
+    let i = h.pos in
+    let e = t.data.(i) in
+    if priority <> e.priority then begin
+      set t i { e with priority };
+      if priority < e.priority then sift_up t i else sift_down t i
+    end;
+    true
+  end
+  else false
 
 let clear t =
   for i = 0 to t.size - 1 do

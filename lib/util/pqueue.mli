@@ -34,6 +34,14 @@ val mem : 'a t -> 'a handle -> bool
 val priority_of : 'a t -> 'a handle -> float option
 (** The current priority behind a live handle. *)
 
+val update_priority : 'a t -> 'a handle -> priority:float -> bool
+(** [update_priority t h ~priority] moves the entry behind [h] to a new
+    priority in O(log n), keeping the handle valid and preserving the
+    entry's sequence number (its FIFO rank among equal priorities).
+    Returns [false] when the entry already left the heap; idempotent.
+    The single-completion-event I/O calendar reschedules through this
+    instead of a cancel + re-insert pair. *)
+
 val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> (float * 'a) list

@@ -124,6 +124,37 @@ let test_cancellation_inside_handler () =
   Engine.run e;
   Alcotest.(check bool) "victim cancelled" false !fired
 
+let test_reschedule_reorders_firing () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag = fun _ -> log := tag :: !log in
+  let h = Engine.schedule_at e ~time:5.0 (note "moved") in
+  ignore (Engine.schedule_at e ~time:2.0 (note "fixed"));
+  Alcotest.(check bool) "retime pending" true (Engine.reschedule e h ~time:1.0);
+  Alcotest.(check (option (float 0.0))) "time_of reflects retime" (Some 1.0)
+    (Engine.time_of e h);
+  Engine.run e;
+  Alcotest.(check (list string)) "moved event now fires first" [ "moved"; "fixed" ]
+    (List.rev !log)
+
+let test_reschedule_dead_handles () =
+  let e = Engine.create () in
+  let fired = Engine.schedule_at e ~time:1.0 (fun _ -> ()) in
+  let cancelled = Engine.schedule_at e ~time:2.0 (fun _ -> ()) in
+  ignore (Engine.cancel e cancelled);
+  Engine.run e;
+  Alcotest.(check bool) "fired handle is false" false (Engine.reschedule e fired ~time:9.0);
+  Alcotest.(check bool) "cancelled handle is false" false
+    (Engine.reschedule e cancelled ~time:9.0)
+
+let test_reschedule_past_rejected () =
+  let e = Engine.create ~start:10.0 () in
+  let h = Engine.schedule_at e ~time:12.0 (fun _ -> ()) in
+  Alcotest.(check bool) "past retime raises" true
+    (match Engine.reschedule e h ~time:5.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_stress_many_events =
   QCheck.Test.make ~name:"engine_processes_all_events_in_order" ~count:50
     QCheck.(list_of_size (QCheck.Gen.int_range 0 500) (float_range 0.0 1e6))
@@ -156,6 +187,9 @@ let () =
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "events counter" `Quick test_events_processed_counter;
           Alcotest.test_case "cancel from handler" `Quick test_cancellation_inside_handler;
+          Alcotest.test_case "reschedule reorders" `Quick test_reschedule_reorders_firing;
+          Alcotest.test_case "reschedule dead handles" `Quick test_reschedule_dead_handles;
+          Alcotest.test_case "reschedule past rejected" `Quick test_reschedule_past_rejected;
         ]
         @ [ QCheck_alcotest.to_alcotest ~long:false test_stress_many_events ] );
     ]

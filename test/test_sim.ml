@@ -379,13 +379,13 @@ let test_pool_alloc_release () =
   Alcotest.(check int) "all free" 10 (Node_pool.free_count p);
   match Node_pool.alloc p ~job:3 ~count:4 with
   | None -> Alcotest.fail "alloc should succeed"
-  | Some ids ->
-      Alcotest.(check int) "4 allocated" 4 (Array.length ids);
+  | Some grant ->
+      Alcotest.(check int) "4 allocated" 4 (Node_pool.size grant);
       Alcotest.(check int) "6 free" 6 (Node_pool.free_count p);
-      Array.iter
+      List.iter
         (fun n -> Alcotest.(check (option int)) "owner recorded" (Some 3) (Node_pool.owner p n))
-        ids;
-      Node_pool.release p ids;
+        (Node_pool.to_list grant);
+      Node_pool.release p grant;
       Alcotest.(check int) "all free again" 10 (Node_pool.free_count p)
 
 let test_pool_exhaustion () =
@@ -410,12 +410,44 @@ let test_pool_distinct_nodes =
       let ia = Option.get (Node_pool.alloc p ~job:0 ~count:a) in
       let ib = Option.get (Node_pool.alloc p ~job:1 ~count:b) in
       let module S = Set.Make (Int) in
-      let sa = S.of_list (Array.to_list ia) and sb = S.of_list (Array.to_list ib) in
+      let sa = S.of_list (Node_pool.to_list ia) and sb = S.of_list (Node_pool.to_list ib) in
       S.cardinal sa = a && S.cardinal sb = b && S.is_empty (S.inter sa sb))
 
 let test_pool_free_node_has_no_owner () =
   let p = Node_pool.create ~nodes:2 in
   Alcotest.(check (option int)) "free node" None (Node_pool.owner p 0)
+
+let test_pool_churn =
+  (* Random alloc/release interleavings fragment the range lists; the pool
+     must conserve node counts, keep ownership exact, and coalesce well
+     enough that a full-machine allocation succeeds once all is free. *)
+  QCheck.Test.make ~name:"pool_random_churn_consistent" ~count:100
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 40) (int_range 1 20)))
+    (fun (seed, sizes) ->
+      let rng = Cocheck_util.Rng.create ~seed in
+      let n = 100 in
+      let p = Node_pool.create ~nodes:n in
+      let live = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun job count ->
+          (match Node_pool.alloc p ~job ~count with
+          | Some g ->
+              ok := !ok && Node_pool.size g = count;
+              live := (job, g) :: !live
+          | None -> ok := !ok && Node_pool.free_count p < count);
+          (* Randomly retire one live grant. *)
+          match !live with
+          | (j, g) :: rest when Cocheck_util.Rng.bool rng ->
+              ok :=
+                !ok
+                && List.for_all (fun nd -> Node_pool.owner p nd = Some j) (Node_pool.to_list g);
+              Node_pool.release p g;
+              live := rest
+          | _ -> ())
+        sizes;
+      List.iter (fun (_, g) -> Node_pool.release p g) !live;
+      !ok && Node_pool.free_count p = n && Node_pool.alloc p ~job:999 ~count:n <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Config                                                               *)
@@ -560,7 +592,7 @@ let () =
           Alcotest.test_case "double release" `Quick test_pool_double_release;
           Alcotest.test_case "free node ownerless" `Quick test_pool_free_node_has_no_owner;
         ]
-        @ qsuite [ test_pool_distinct_nodes ] );
+        @ qsuite [ test_pool_distinct_nodes; test_pool_churn ] );
       ( "config",
         [
           Alcotest.test_case "defaults" `Quick test_config_defaults;

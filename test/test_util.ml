@@ -370,6 +370,61 @@ let test_pqueue_random_removals =
       in
       drain [] = List.sort compare (List.map fst kept))
 
+let test_pqueue_update_priority () =
+  let q = Pqueue.create () in
+  let ha = Pqueue.add q ~priority:1.0 "a" in
+  let _hb = Pqueue.add q ~priority:2.0 "b" in
+  let hc = Pqueue.add q ~priority:3.0 "c" in
+  (* Raise the min past everything, drop the max below everything. *)
+  Alcotest.(check bool) "raise live" true (Pqueue.update_priority q ha ~priority:10.0);
+  Alcotest.(check bool) "lower live" true (Pqueue.update_priority q hc ~priority:0.5);
+  Alcotest.(check (option (float 0.0))) "new priority visible" (Some 10.0)
+    (Pqueue.priority_of q ha);
+  let vals =
+    List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "pop order reflects updates" [ "c"; "b"; "a" ] vals;
+  Alcotest.(check bool) "dead handle is false" false
+    (Pqueue.update_priority q ha ~priority:1.0)
+
+let test_pqueue_update_priority_fifo_ties () =
+  (* An update to an equal priority must not jump the FIFO queue: seq is
+     assigned at add time and preserved across updates. *)
+  let q = Pqueue.create () in
+  let _ha = Pqueue.add q ~priority:1.0 "a" in
+  let hb = Pqueue.add q ~priority:5.0 "b" in
+  Alcotest.(check bool) "retime b onto a's priority" true
+    (Pqueue.update_priority q hb ~priority:1.0);
+  let vals =
+    List.init 2 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "arrival order wins the tie" [ "a"; "b" ] vals
+
+let test_pqueue_random_updates =
+  QCheck.Test.make ~name:"pqueue_random_updates_pop_sorted" ~count:200
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 0 64) (float_range 0.0 100.0)))
+    (fun (seed, priorities) ->
+      let rng = Rng.create ~seed in
+      let q = Pqueue.create () in
+      let handles = List.map (fun p -> Pqueue.add q ~priority:p p) priorities in
+      (* Re-key a random subset to fresh priorities; the heap must still pop
+         in sorted order of the final keys. *)
+      let finals =
+        List.map2
+          (fun p h ->
+            if Rng.bool rng then begin
+              let p' = Rng.unit_float rng *. 100.0 in
+              ignore (Pqueue.update_priority q h ~priority:p');
+              p'
+            end
+            else p)
+          priorities handles
+      in
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare finals)
+
 let test_pqueue_priority_of () =
   let q = Pqueue.create () in
   let h = Pqueue.add q ~priority:17.5 "x" in
@@ -560,11 +615,15 @@ let () =
           Alcotest.test_case "FIFO among ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "remove by handle" `Quick test_pqueue_remove;
           Alcotest.test_case "handle dead after pop" `Quick test_pqueue_handle_after_pop;
+          Alcotest.test_case "update_priority" `Quick test_pqueue_update_priority;
+          Alcotest.test_case "update_priority keeps FIFO seq" `Quick
+            test_pqueue_update_priority_fifo_ties;
           Alcotest.test_case "priority_of" `Quick test_pqueue_priority_of;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
           Alcotest.test_case "sorted snapshot" `Quick test_pqueue_to_sorted_list;
         ]
-        @ qsuite [ test_pqueue_ordering; test_pqueue_random_removals ] );
+        @ qsuite
+            [ test_pqueue_ordering; test_pqueue_random_removals; test_pqueue_random_updates ] );
       ( "units-table-plot",
         [
           Alcotest.test_case "unit conversions" `Quick test_units_roundtrip;
