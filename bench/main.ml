@@ -226,6 +226,82 @@ let micro_tests () =
            done;
            Cocheck_des.Engine.run engine))
   in
+  (* A full arbitration cycle at n pending requests: enqueue all, then
+     grant until dry. The id-indexed pool makes enqueue/removal O(1);
+     before it, the list-based pool ([pool @ [req]] + List.find/filter)
+     made every cycle O(n²) on top of the waste evaluation. *)
+  let arbiter_lw n =
+    let module T = Cocheck_sim.Sim_types in
+    let module Jobgen = Cocheck_model.Jobgen in
+    let node_pool = Cocheck_sim.Node_pool.create ~nodes:200_000 in
+    let mk_request i =
+      let nodes = 128 + (64 * (i mod 11)) in
+      let spec =
+        {
+          Jobgen.id = i;
+          class_index = 0;
+          class_name = "bench";
+          nodes;
+          work_s = 1e6;
+          input_gb = 0.0;
+          output_gb = 0.0;
+          ckpt_gb = 50.0 +. float_of_int (i mod 7);
+          steady_io_gb = 0.0;
+        }
+      in
+      let inst =
+        {
+          T.idx = i;
+          spec;
+          total_work = 1e6;
+          entry_has_ckpt = false;
+          restarts = 0;
+          nodes = Option.get (Cocheck_sim.Node_pool.alloc node_pool ~job:i ~count:nodes);
+          start_time = 0.0;
+          period = 3600.0;
+          ckpt_nominal = spec.Jobgen.ckpt_gb /. 40.0;
+          activity = T.Computing_pending;
+          work_done = 0.0;
+          committed = 0.0;
+          has_ckpt = false;
+          compute_start = 0.0;
+          uncommitted = [];
+          last_commit_end = float_of_int (i * 37 mod 997);
+          ckpt_request_ev = None;
+          work_done_ev = None;
+          wait_start = 0.0;
+          ckpt_content = 0.0;
+          holds_token = false;
+          committed_local = 0.0;
+          local_safe_time = 0.0;
+          local_pause_start = 0.0;
+          local_tick_ev = None;
+          local_done_ev = None;
+          delay_ev = None;
+        }
+      in
+      {
+        T.r_id = i;
+        r_inst = inst;
+        r_kind =
+          (if i mod 3 = 0 then T.Req_io Cocheck_sim.Io_subsystem.Input else T.Req_ckpt);
+        r_volume = spec.Jobgen.ckpt_gb;
+        r_at = float_of_int (i * 13 mod 731);
+        r_cancelled = false;
+      }
+    in
+    let requests = List.init n mk_request in
+    Test.make ~name:(Printf.sprintf "io-arbiter-lw-%d" n)
+      (Staged.stage (fun () ->
+           let (module A) =
+             Cocheck_sim.Arbiter.least_waste ~node_mtbf_s:(2.0 *. 365.0 *. 86400.0)
+               ~bandwidth_gbs:40.0 ()
+           in
+           List.iter A.enqueue requests;
+           while A.select ~now:10_000.0 <> None do
+             ()
+           done))
+  in
   [
     pqueue_churn;
     least_waste_select;
@@ -235,6 +311,8 @@ let micro_tests () =
     io_rebalance 16;
     io_rebalance 128;
     io_rebalance 1024;
+    arbiter_lw 16;
+    arbiter_lw 128;
   ]
 
 let run_micro () =

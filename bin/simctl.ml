@@ -192,7 +192,8 @@ let run_cmd =
     Arg.(value & opt strategy_conv Strategy.Least_waste
          & info [ "strategy"; "s" ] ~docv:"STRATEGY"
              ~doc:"One of oblivious-fixed, oblivious-daly, ordered-fixed, ordered-daly, \
-                   ordered-nb-fixed, ordered-nb-daly, least-waste, baseline.")
+                   ordered-nb-fixed, ordered-nb-daly, least-waste, greedy-exposure, \
+                   baseline.")
   in
   let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
       multilevel trace_out series_out manifest_out sample_dt =
@@ -317,16 +318,24 @@ let fig1_cmd =
     Term.(const action $ reps_t 100 $ seed_t $ days_t $ mtbf_years_t $ out_t $ domains_t
           $ manifest_dir_t)
 
+let strategies_t =
+  Arg.(value
+       & opt (some (list ~sep:',' strategy_conv)) None
+       & info [ "strategies" ] ~docv:"S1,S2,..."
+           ~doc:"Sweep these strategies instead of the paper's seven — e.g. \
+                 least-waste,greedy-exposure,ordered-nb-daly to pit an added \
+                 arbitration policy against the paper's curves.")
+
 let fig2_cmd =
-  let action reps seed days bandwidth out domains manifest_dir =
+  let action reps seed days bandwidth out domains manifest_dir strategies =
     with_pool domains (fun pool ->
         finish_figure out
-          (E.Fig2.run ~pool ~bandwidth_gbs:bandwidth ~reps ~seed ~days
+          (E.Fig2.run ~pool ~bandwidth_gbs:bandwidth ?strategies ~reps ~seed ~days
              ?manifest_dir ()))
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Waste ratio vs node MTBF (paper Figure 2).")
     Term.(const action $ reps_t 100 $ seed_t $ days_t $ bandwidth_t $ out_t $ domains_t
-          $ manifest_dir_t)
+          $ manifest_dir_t $ strategies_t)
 
 let fig3_cmd =
   let action reps seed days out domains =

@@ -5,6 +5,7 @@ type t =
   | Ordered of period_rule
   | Ordered_nb of period_rule
   | Least_waste
+  | Greedy_exposure
   | Baseline
 
 let default_fixed_period_s = 3600.0
@@ -34,6 +35,7 @@ let name = function
   | Ordered r -> "Ordered-" ^ rule_name r
   | Ordered_nb r -> "Ordered-NB-" ^ rule_name r
   | Least_waste -> "Least-Waste"
+  | Greedy_exposure -> "Greedy-Exposure"
   | Baseline -> "Baseline"
 
 let parse_rule s =
@@ -60,6 +62,7 @@ let of_string s =
   let low = String.lowercase_ascii (String.trim s) in
   match low with
   | "least-waste" | "leastwaste" | "least_waste" | "lw" -> Ok Least_waste
+  | "greedy-exposure" | "greedy_exposure" | "greedyexposure" | "ge" -> Ok Greedy_exposure
   | "baseline" -> Ok Baseline
   | _ -> (
       let try_prefix prefix mk =
@@ -90,10 +93,10 @@ let of_string s =
 
 let is_blocking = function
   | Oblivious _ | Ordered _ | Baseline -> true
-  | Ordered_nb _ | Least_waste -> false
+  | Ordered_nb _ | Least_waste | Greedy_exposure -> false
 
 let uses_token = function
-  | Ordered _ | Ordered_nb _ | Least_waste -> true
+  | Ordered _ | Ordered_nb _ | Least_waste | Greedy_exposure -> true
   | Oblivious _ | Baseline -> false
 
 let pp ppf t = Format.pp_print_string ppf (name t)

@@ -28,6 +28,12 @@ type t =
   | Least_waste
       (** non-blocking; the token goes to the candidate minimising the
           expected waste inflicted on the others (always Daly periods) *)
+  | Greedy_exposure
+      (** non-blocking; the token goes to the candidate with the largest
+          exposure × nodes product — the most node-seconds currently at
+          risk — a cheap O(pending) heuristic to contrast with
+          [Least_waste]'s O(pending²) inflicted-waste minimisation
+          (always Daly periods; beyond the paper's evaluated seven) *)
   | Baseline
       (** no failures, no checkpoints, no interference — the normalisation
           run of Section 6 *)

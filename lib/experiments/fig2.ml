@@ -1,9 +1,11 @@
 module Platform = Cocheck_model.Platform
+module Strategy = Cocheck_core.Strategy
 
 let default_mtbf_years = [ 2.0; 3.0; 5.0; 10.0; 20.0; 35.0; 50.0 ]
 
-let run ~pool ?(mtbf_years = default_mtbf_years) ?(bandwidth_gbs = 40.0) ?(reps = 100)
-    ?(seed = 42) ?(days = 60.0) ?manifest_dir () =
+let run ~pool ?(mtbf_years = default_mtbf_years) ?(bandwidth_gbs = 40.0)
+    ?(strategies = Strategy.paper_seven) ?(reps = 100) ?(seed = 42) ?(days = 60.0)
+    ?manifest_dir () =
   let points =
     List.map
       (fun y -> (y, Platform.cielo ~bandwidth_gbs ~node_mtbf_years:y ()))
@@ -18,5 +20,5 @@ let run ~pool ?(mtbf_years = default_mtbf_years) ?(bandwidth_gbs = 40.0) ?(reps 
     x_label = "Node MTBF (years)";
     y_label = "Waste Ratio";
     log_x = true;
-    series = Sweep.waste_vs ~pool ~points ~reps ~seed ~days ?manifest_dir ();
+    series = Sweep.waste_vs ~pool ~points ~strategies ~reps ~seed ~days ?manifest_dir ();
   }

@@ -9,11 +9,15 @@ val run :
   pool:Cocheck_parallel.Pool.t ->
   ?mtbf_years:float list ->
   ?bandwidth_gbs:float ->
+  ?strategies:Cocheck_core.Strategy.t list ->
   ?reps:int ->
   ?seed:int ->
   ?days:float ->
   ?manifest_dir:string ->
   unit ->
   Figures.t
-(** [manifest_dir] writes one run manifest per (sweep point, replication,
-    strategy), see {!Sweep.waste_vs}. *)
+(** [strategies] overrides the swept set (default: the paper's seven) — the
+    hook for comparing an added arbitration policy such as
+    [Greedy_exposure] against the paper's curves. [manifest_dir] writes one
+    run manifest per (sweep point, replication, strategy), see
+    {!Sweep.waste_vs}. *)

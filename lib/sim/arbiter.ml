@@ -1,0 +1,283 @@
+open Sim_types
+module Strategy = Cocheck_core.Strategy
+module Candidate = Cocheck_core.Candidate
+module Least_waste = Cocheck_core.Least_waste
+
+module type S = Sim_types.ARBITER
+
+(* ------------------------------------------------------------------ *)
+(* Arrival-ordered pool indexed by request id.                          *)
+(*                                                                      *)
+(* The policies below (Least-Waste, Greedy-Exposure) must scan every    *)
+(* live request per grant anyway, but enqueue, withdrawal and the       *)
+(* post-selection removal are all O(1) via the id index — replacing the *)
+(* retired [pool @ [req]] / [List.find] / [List.filter] pattern that    *)
+(* made every operation O(pending) and the whole backlog O(pending²).   *)
+(* Removal leaves a tombstone; compaction preserves arrival order.      *)
+(* ------------------------------------------------------------------ *)
+
+module Ipool = struct
+  type t = {
+    mutable slots : request option array;
+    mutable head : int;  (* first possibly-live slot *)
+    mutable tail : int;  (* next free slot *)
+    mutable live : int;
+    index : (int, int) Hashtbl.t;  (* r_id -> slot *)
+  }
+
+  let create () = { slots = Array.make 16 None; head = 0; tail = 0; live = 0; index = Hashtbl.create 16 }
+
+  let compact t =
+    let j = ref 0 in
+    for i = t.head to t.tail - 1 do
+      match t.slots.(i) with
+      | None -> ()
+      | Some r as slot ->
+          t.slots.(i) <- None;
+          t.slots.(!j) <- slot;
+          Hashtbl.replace t.index r.r_id !j;
+          incr j
+    done;
+    t.head <- 0;
+    t.tail <- !j
+
+  let add t r =
+    if t.tail = Array.length t.slots then
+      if t.live * 2 <= Array.length t.slots then compact t
+      else begin
+        let bigger = Array.make (2 * Array.length t.slots) None in
+        Array.blit t.slots 0 bigger 0 t.tail;
+        t.slots <- bigger
+      end;
+    t.slots.(t.tail) <- Some r;
+    Hashtbl.replace t.index r.r_id t.tail;
+    t.tail <- t.tail + 1;
+    t.live <- t.live + 1
+
+  let advance_head t =
+    while t.head < t.tail && t.slots.(t.head) = None do
+      t.head <- t.head + 1
+    done
+
+  let remove t r =
+    match Hashtbl.find_opt t.index r.r_id with
+    | None -> ()
+    | Some i ->
+        t.slots.(i) <- None;
+        Hashtbl.remove t.index r.r_id;
+        t.live <- t.live - 1;
+        advance_head t
+
+  (* Arrival-order iteration over live requests. *)
+  let iter t f =
+    for i = t.head to t.tail - 1 do
+      match t.slots.(i) with Some r -> f r | None -> ()
+    done
+
+  let fold t f acc =
+    let acc = ref acc in
+    iter t (fun r -> acc := f !acc r);
+    !acc
+
+  let find_by_id t key =
+    Option.bind (Hashtbl.find_opt t.index key) (fun i -> t.slots.(i))
+
+  let live t = t.live
+end
+
+(* Shared counters so every implementation reports uniform stats. *)
+type counters = { mutable enq : int; mutable granted : int; mutable cancelled : int }
+
+let counters () = { enq = 0; granted = 0; cancelled = 0 }
+
+let stats_of ~policy ~pending (c : counters) =
+  {
+    arb_policy = policy;
+    arb_pending = pending;
+    arb_enqueued = c.enq;
+    arb_granted = c.granted;
+    arb_cancelled = c.cancelled;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Policies.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* FCFS with lazy cancellation: kills mark [r_cancelled] and the stale
+   entries are discarded when they surface at the queue head. *)
+let fifo () : arbiter =
+  (module struct
+    let policy = "fifo"
+    let q : request Queue.t = Queue.create ()
+    let c = counters ()
+
+    let enqueue r =
+      c.enq <- c.enq + 1;
+      Queue.add r q
+
+    let cancel_of_inst inst =
+      Queue.iter
+        (fun r ->
+          if r.r_inst.idx = inst.idx && not r.r_cancelled then begin
+            r.r_cancelled <- true;
+            c.cancelled <- c.cancelled + 1
+          end)
+        q
+
+    let select ~now:_ =
+      let rec pop () =
+        match Queue.take_opt q with
+        | None -> None
+        | Some r when r.r_cancelled -> pop ()
+        | Some r ->
+            c.granted <- c.granted + 1;
+            Some r
+      in
+      pop ()
+
+    let pending () = Queue.fold (fun acc r -> if r.r_cancelled then acc else acc + 1) 0 q
+    let stats () = stats_of ~policy ~pending:(pending ()) c
+  end)
+
+(* Shared scaffolding of the pool-scanning policies: eager withdrawal,
+   O(1) removal of the selection. *)
+let pool_policy ~policy ~choose () : arbiter =
+  (module struct
+    let policy = policy
+    let pool = Ipool.create ()
+    let c = counters ()
+
+    let enqueue r =
+      c.enq <- c.enq + 1;
+      Ipool.add pool r
+
+    let cancel_of_inst inst =
+      Ipool.iter pool (fun r -> if r.r_inst.idx = inst.idx then r.r_cancelled <- true);
+      Ipool.fold pool (fun acc r -> if r.r_cancelled then r :: acc else acc) []
+      |> List.iter (fun r ->
+             c.cancelled <- c.cancelled + 1;
+             Ipool.remove pool r)
+
+    let select ~now =
+      match choose pool ~now with
+      | None -> None
+      | Some r ->
+          Ipool.remove pool r;
+          c.granted <- c.granted + 1;
+          Some r
+
+    let pending () = Ipool.live pool
+    let stats () = stats_of ~policy ~pending:(pending ()) c
+  end)
+
+(* Section 3.4: grant to the candidate minimising the expected waste its
+   service inflicts on everyone else. Candidates are offered in arrival
+   order, exactly as the retired list-based pool did, so selections (and
+   their floating-point tie-breaks) are bit-identical. *)
+let least_waste ~node_mtbf_s ~bandwidth_gbs () : arbiter =
+  let to_candidate ~now r =
+    match r.r_kind with
+    | Req_io _ ->
+        Candidate.Io
+          {
+            Candidate.key = r.r_id;
+            nodes = r.r_inst.spec.nodes;
+            service_s = r.r_volume /. bandwidth_gbs;
+            waited_s = now -. r.r_at;
+          }
+    | Req_ckpt ->
+        Candidate.Ckpt
+          {
+            Candidate.key = r.r_id;
+            nodes = r.r_inst.spec.nodes;
+            ckpt_s = r.r_inst.ckpt_nominal;
+            exposed_s = now -. r.r_inst.last_commit_end;
+            recovery_s = r.r_inst.ckpt_nominal;
+          }
+  in
+  let choose pool ~now =
+    match List.rev (Ipool.fold pool (fun acc r -> to_candidate ~now r :: acc) []) with
+    | [] -> None
+    | cands ->
+        Option.bind (Least_waste.select ~node_mtbf_s cands) (fun c ->
+            Ipool.find_by_id pool (Candidate.key c))
+  in
+  pool_policy ~policy:"least-waste" ~choose ()
+
+(* Grant to the request with the most node-seconds currently at risk:
+   exposure (time since the last commit for checkpoints, waiting time for
+   blocking transfers) weighted by the job's width. One O(pending) scan per
+   grant; ties break towards arrival order. *)
+let greedy_exposure () : arbiter =
+  let score ~now r =
+    let exposure =
+      match r.r_kind with
+      | Req_ckpt -> now -. r.r_inst.last_commit_end
+      | Req_io _ -> now -. r.r_at
+    in
+    exposure *. float_of_int r.r_inst.spec.nodes
+  in
+  let choose pool ~now =
+    Ipool.fold pool
+      (fun best r ->
+        let s = score ~now r in
+        match best with Some (_, s_best) when s <= s_best -> best | _ -> Some (r, s))
+      None
+    |> Option.map fst
+  in
+  pool_policy ~policy:"greedy-exposure" ~choose ()
+
+let of_strategy strategy ~node_mtbf_s ~bandwidth_gbs =
+  match (strategy : Strategy.t) with
+  | Least_waste -> least_waste ~node_mtbf_s ~bandwidth_gbs ()
+  | Greedy_exposure -> greedy_exposure ()
+  | Oblivious _ | Ordered _ | Ordered_nb _ | Baseline -> fifo ()
+
+(* ------------------------------------------------------------------ *)
+(* The token driver.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let submit w inst kind volume =
+  let req =
+    {
+      r_id = w.next_req;
+      r_inst = inst;
+      r_kind = kind;
+      r_volume = volume;
+      r_at = now w;
+      r_cancelled = false;
+    }
+  in
+  w.next_req <- w.next_req + 1;
+  let (module A) = w.arbiter in
+  A.enqueue req
+
+let cancel_requests_of w inst =
+  let (module A) = w.arbiter in
+  A.cancel_of_inst inst
+
+let pending w =
+  let (module A) = w.arbiter in
+  A.pending ()
+
+let stats w =
+  let (module A) = w.arbiter in
+  A.stats ()
+
+let try_grant w =
+  if w.uses_token && not w.token_busy then begin
+    let (module A) = w.arbiter in
+    match A.select ~now:(now w) with
+    | None -> ()
+    | Some req ->
+        w.token_busy <- true;
+        let inst = req.r_inst in
+        inst.holds_token <- true;
+        emit_inst w inst Trace.Token_granted;
+        (match w.hooks with
+        | Some h -> h.on_token_wait (now w -. req.r_at)
+        | None -> ());
+        (match req.r_kind with
+        | Req_io _ -> w.h_grant_io req
+        | Req_ckpt -> w.h_grant_ckpt req)
+  end

@@ -1,0 +1,57 @@
+(** Pluggable token arbitration: who gets the exclusive I/O token next.
+
+    A policy is a first-class module implementing {!Sim_types.ARBITER} —
+    enqueue, withdrawal, selection and an observability snapshot — created
+    per run by {!of_strategy} and stored in the world record. The
+    simulator core never inspects the queue structure, so adding a
+    scheduling policy means adding an implementation here (plus its
+    {!Cocheck_core.Strategy} variant) and nothing else. *)
+
+module type S = Sim_types.ARBITER
+(** The arbitration contract; see {!Sim_types.ARBITER} for the field
+    documentation. *)
+
+val fifo : unit -> Sim_types.arbiter
+(** Arrival-order service with lazy cancellation: kills mark requests and
+    the marks are discarded at the queue head (the Ordered and Ordered-NB
+    strategies of Section 3.2–3.3). *)
+
+val least_waste :
+  node_mtbf_s:float -> bandwidth_gbs:float -> unit -> Sim_types.arbiter
+(** The Section 3.4 heuristic: grant to the candidate minimising the
+    expected waste inflicted on all other pending candidates. Backed by an
+    id-indexed arrival-ordered pool — O(1) enqueue and removal, one
+    O(pending²) waste evaluation per grant (inherent to the pairwise
+    formula). *)
+
+val greedy_exposure : unit -> Sim_types.arbiter
+(** Grant to the request with the largest exposure × nodes product — the
+    most node-seconds at risk of being lost to a failure. A cheap
+    O(pending) contrast to {!least_waste}; not part of the paper's seven. *)
+
+val of_strategy :
+  Cocheck_core.Strategy.t ->
+  node_mtbf_s:float ->
+  bandwidth_gbs:float ->
+  Sim_types.arbiter
+(** The policy a strategy mandates (token-less strategies get an inert
+    {!fifo} they never enqueue into). *)
+
+val submit : Sim_types.w -> Sim_types.inst -> Sim_types.rkind -> float -> unit
+(** Create a request (fresh id, stamped with the current time) for
+    [volume] gigabytes and hand it to the run's policy. *)
+
+val cancel_requests_of : Sim_types.w -> Sim_types.inst -> unit
+(** Withdraw every pending request of an instance (on kill or completion);
+    after this the instance can never be granted the token. *)
+
+val try_grant : Sim_types.w -> unit
+(** Grant the token to the policy's choice if it is free and a live
+    request is pending, then dispatch to the I/O or checkpoint grant
+    continuation. No-op for token-less strategies. *)
+
+val pending : Sim_types.w -> int
+(** Live requests awaiting the token (probe helper). *)
+
+val stats : Sim_types.w -> Sim_types.arb_stats
+(** The run's arbitration counters so far. *)

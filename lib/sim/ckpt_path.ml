@@ -1,0 +1,176 @@
+open Cocheck_util
+open Sim_types
+module Engine = Cocheck_des.Engine
+module Strategy = Cocheck_core.Strategy
+module Io = Io_subsystem
+
+(* The strategy's checkpoint discipline is fully captured by two predicates
+   (token? blocking?) plus the arbiter's selection policy: adding a policy
+   touches neither this module nor the lifecycle. *)
+
+let rec schedule_ckpt_request w inst =
+  if w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work then begin
+    let delay = Float.max 0.0 (inst.period -. inst.ckpt_nominal) in
+    inst.ckpt_request_ev <-
+      Some
+        (Engine.schedule_after w.engine ~delay (fun _ ->
+             inst.ckpt_request_ev <- None;
+             on_ckpt_request w inst))
+  end
+
+and on_ckpt_request w inst =
+  emit_inst w inst Trace.Ckpt_requested;
+  match inst.activity with
+  | Computing ->
+      let left = inst.total_work -. inst.work_done -. (now w -. inst.compute_start) in
+      if left <= eps_work then ()
+        (* the work-completion event fires at this same instant; skip *)
+      else begin
+        match w.bb with
+        | Some bb when Burst_buffer.fits bb ~volume_gb:inst.spec.Jobgen.ckpt_gb ->
+            (* The buffer absorbs the commit at its own speed, bypassing
+               the strategy's PFS arbitration entirely. *)
+            pause_compute w inst;
+            start_bb_ckpt_flow w bb inst
+        | bb_opt ->
+            Option.iter (fun bb -> Burst_buffer.note_spill bb) bb_opt;
+            if not w.uses_token then begin
+              (* Oblivious: the transfer starts at once, wait is zero. *)
+              Stats.running_add w.ckpt_wait_stats.(inst.spec.Jobgen.class_index) 0.0;
+              pause_compute w inst;
+              start_ckpt_flow w inst
+            end
+            else if Strategy.is_blocking w.cfg.Config.strategy then begin
+              pause_compute w inst;
+              inst.activity <- Waiting_ckpt;
+              inst.wait_start <- now w;
+              Arbiter.submit w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
+              Arbiter.try_grant w
+            end
+            else begin
+              inst.activity <- Computing_pending;
+              Arbiter.submit w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
+              Arbiter.try_grant w
+            end
+      end
+  | Local_ckpt ->
+      (* A local snapshot is in flight: retry just after it finishes. *)
+      let retry =
+        match w.cfg.Config.multilevel with
+        | Some m -> Float.max m.Config.local_cost_s 1.0
+        | None -> 1.0
+      in
+      inst.ckpt_request_ev <-
+        Some
+          (Engine.schedule_after w.engine ~delay:retry (fun _ ->
+               inst.ckpt_request_ev <- None;
+               on_ckpt_request w inst))
+  | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt | Local_recovery ->
+      (* Requests are cancelled whenever the job leaves the computing state,
+         so a firing request always finds it computing (or locally
+         snapshotting). *)
+      assert false
+
+and ckpt_complete w inst =
+  match w.hooks with
+  | Some h ->
+      let t0 = now w in
+      fun () ->
+        h.on_ckpt_duration (now w -. t0);
+        on_ckpt_done w inst
+  | None -> fun () -> on_ckpt_done w inst
+
+and start_ckpt_flow w inst =
+  emit_inst w inst Trace.Ckpt_started;
+  inst.ckpt_content <- inst.work_done;
+  let flow =
+    Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind:Io.Ckpt
+      ~volume_gb:inst.spec.Jobgen.ckpt_gb ~on_complete:(ckpt_complete w inst)
+  in
+  inst.activity <- Doing_io (w.io, flow, Io.Ckpt)
+
+and start_bb_ckpt_flow w bb inst =
+  emit_inst w inst Trace.Ckpt_started;
+  inst.ckpt_content <- inst.work_done;
+  let flow =
+    Burst_buffer.write bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
+      ~nodes:inst.spec.Jobgen.nodes ~volume_gb:inst.spec.Jobgen.ckpt_gb
+      ~on_complete:(ckpt_complete w inst)
+  in
+  inst.activity <- Doing_io (Burst_buffer.io bb, flow, Io.Ckpt)
+
+and on_ckpt_done w inst =
+  release_token w inst;
+  inst.committed <- inst.ckpt_content;
+  emit_inst w inst (Trace.Ckpt_committed { work = inst.ckpt_content });
+  if inst.ckpt_content > inst.committed_local then inst.committed_local <- inst.ckpt_content;
+  inst.local_safe_time <- now w;
+  flush_uncommitted w inst Metrics.Work;
+  if inst.has_ckpt then
+    Stats.running_add
+      w.interval_stats.(inst.spec.Jobgen.class_index)
+      (now w -. inst.last_commit_end);
+  inst.has_ckpt <- true;
+  inst.last_commit_end <- now w;
+  w.ckpts_committed <- w.ckpts_committed + 1;
+  schedule_ckpt_request w inst;
+  w.h_start_compute inst;
+  if w.uses_token then Arbiter.try_grant w
+
+(* The Req_ckpt grant continuation ({!Arbiter.try_grant} dispatches here
+   through [w.h_grant_ckpt]). *)
+let grant_ckpt w (req : request) =
+  let inst = req.r_inst in
+  Stats.running_add w.ckpt_wait_stats.(inst.spec.Jobgen.class_index) (now w -. req.r_at);
+  (match inst.activity with
+  | Waiting_ckpt -> record_wait w inst ~from:inst.wait_start
+  | Computing_pending -> pause_compute w inst
+  | Doing_io _ | Computing | Waiting_io _ | Local_ckpt | Local_recovery -> assert false);
+  start_ckpt_flow w inst
+
+(* ------------------------------------------------------------------ *)
+(* Two-level (node-local) checkpointing.                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec schedule_local_tick w inst =
+  match w.cfg.Config.multilevel with
+  | Some m when w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work ->
+      inst.local_tick_ev <-
+        Some
+          (Engine.schedule_after w.engine ~delay:m.Config.local_period_s (fun _ ->
+               inst.local_tick_ev <- None;
+               on_local_tick w m inst))
+  | _ -> ()
+
+and on_local_tick w m inst =
+  match inst.activity with
+  | Computing ->
+      let left = inst.total_work -. inst.work_done -. (now w -. inst.compute_start) in
+      if left <= eps_work then ()
+      else begin
+        pause_compute w inst;
+        inst.activity <- Local_ckpt;
+        inst.local_pause_start <- now w;
+        inst.local_done_ev <-
+          Some
+            (Engine.schedule_after w.engine ~delay:m.Config.local_cost_s (fun _ ->
+                 inst.local_done_ev <- None;
+                 on_local_done w inst))
+      end
+  | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt ->
+      (* Busy with I/O-level activity: try again one local period later. *)
+      schedule_local_tick w inst
+  | Local_ckpt | Local_recovery -> assert false
+
+and on_local_done w inst =
+  Metrics.record w.metrics ~t0:inst.local_pause_start ~t1:(now w)
+    ~nodes:inst.spec.Jobgen.nodes Metrics.Local_ckpt;
+  (* The snapshot captures the state at the pause. Work banked before this
+     point survives soft failures; it is counted as progress at the next
+     soft rollback, an optimistic first-order treatment (a later hard
+     failure hitting the successor before its first global commit would in
+     reality re-lose it). *)
+  inst.committed_local <- inst.work_done;
+  inst.local_safe_time <- inst.local_pause_start;
+  schedule_local_tick w inst;
+  w.h_start_compute inst

@@ -1,0 +1,93 @@
+open Sim_types
+module Engine = Cocheck_des.Engine
+module Jobgen = Cocheck_model.Jobgen
+module Io = Io_subsystem
+module Rng = Cocheck_util.Rng
+
+let kill_inst w inst =
+  let t = now w in
+  (match inst.activity with
+  | Doing_io (sub, flow, kind) ->
+      abort_inst_flow w sub flow;
+      if kind = Io.Ckpt then begin
+        w.ckpts_aborted <- w.ckpts_aborted + 1;
+        emit_inst w inst Trace.Ckpt_aborted
+      end
+  | Computing | Computing_pending -> pause_compute w inst
+  | Waiting_io _ | Waiting_ckpt -> record_wait w inst ~from:inst.wait_start
+  | Local_ckpt ->
+      Metrics.record w.metrics ~t0:inst.local_pause_start ~t1:t
+        ~nodes:inst.spec.Jobgen.nodes Metrics.Local_ckpt
+  | Local_recovery ->
+      Metrics.record w.metrics ~t0:inst.wait_start ~t1:t ~nodes:inst.spec.Jobgen.nodes
+        Metrics.Recovery_io);
+  release_token w inst;
+  cancel_local_events w inst;
+  cancel_ckpt_request_ev w inst;
+  cancel_work_done_ev w inst;
+  Arbiter.cancel_requests_of w inst;
+  let soft =
+    match w.cfg.Config.multilevel with
+    | Some m -> Rng.unit_float w.soft_rng < m.Config.soft_fraction
+    | None -> false
+  in
+  let lost, kept =
+    if soft then
+      (* Work captured by the newest local snapshot survives the failure. *)
+      List.partition (fun (_, t1) -> t1 > inst.local_safe_time) inst.uncommitted
+    else (inst.uncommitted, [])
+  in
+  let ci = inst.spec.Jobgen.class_index in
+  let lost_s = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost in
+  w.restarts_by_class.(ci) <- w.restarts_by_class.(ci) + 1;
+  w.lost_ns_by_class.(ci) <-
+    w.lost_ns_by_class.(ci) +. (float_of_int inst.spec.Jobgen.nodes *. lost_s);
+  (match w.hooks with Some h -> h.on_lost_work lost_s | None -> ());
+  emit_inst w inst (Trace.Job_killed { lost_work = lost_s });
+  inst.uncommitted <- lost;
+  flush_uncommitted w inst Metrics.Lost_work;
+  inst.uncommitted <- kept;
+  flush_uncommitted w inst Metrics.Work;
+  Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:t ~nodes:inst.spec.Jobgen.nodes;
+  Node_pool.release w.pool inst.nodes;
+  Hashtbl.remove w.insts inst.idx;
+  let base = if soft then Float.max inst.committed inst.committed_local else inst.committed in
+  let remaining = Float.max 0.0 (inst.total_work -. base) in
+  w.restarts <- w.restarts + 1;
+  w.queue <-
+    {
+      e_spec = inst.spec;
+      e_remaining = remaining;
+      e_restart = (if soft then Soft else Hard);
+      e_has_ckpt = inst.has_ckpt || inst.entry_has_ckpt;
+      e_restarts = inst.restarts + 1;
+    }
+    :: w.queue;
+  Lifecycle.try_start w;
+  if w.uses_token then Arbiter.try_grant w
+
+let handle_failure w (e : Failure_trace.event) =
+  w.failures_seen <- w.failures_seen + 1;
+  let victim =
+    Option.bind (Node_pool.owner w.pool e.node) (fun idx -> Hashtbl.find_opt w.insts idx)
+  in
+  (* Record the victim with the failure itself so traces can correlate a
+     kill with its cause; -1/-1 marks a failure striking an idle node. *)
+  (match victim with
+  | Some inst ->
+      emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node })
+  | None -> emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node }));
+  match victim with
+  | None -> ()
+  | Some inst ->
+      w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
+      kill_inst w inst
+
+let rec schedule_failures w trace =
+  let t = Failure_trace.peek_time trace in
+  if t <= w.cfg.Config.horizon then
+    ignore
+      (Engine.schedule_at w.engine ~time:t (fun _ ->
+           let e = Failure_trace.next trace in
+           handle_failure w e;
+           schedule_failures w trace))

@@ -1,0 +1,189 @@
+open Sim_types
+module Engine = Cocheck_des.Engine
+module Jobgen = Cocheck_model.Jobgen
+module Io = Io_subsystem
+
+let rec try_start w =
+  (* Greedy first-fit over the priority-ordered queue: start every entry
+     that fits in the currently free nodes. Explicit recursion fixes the
+     left-to-right evaluation the allocation side effects rely on. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | entry :: rest -> (
+        match
+          Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes
+        with
+        | None -> go (entry :: acc) rest
+        | Some nodes ->
+            start_instance w entry nodes;
+            go acc rest)
+  in
+  w.queue <- go [] w.queue
+
+and start_instance w entry nodes =
+  let ci = entry.e_spec.Jobgen.class_index in
+  let inst =
+    {
+      idx = w.next_inst;
+      spec = entry.e_spec;
+      total_work = entry.e_remaining;
+      entry_has_ckpt = entry.e_has_ckpt;
+      restarts = entry.e_restarts;
+      nodes;
+      start_time = now w;
+      period = w.periods.(ci);
+      ckpt_nominal = w.ckpt_nominals.(ci);
+      activity = Computing;
+      work_done = 0.0;
+      committed = 0.0;
+      has_ckpt = false;
+      compute_start = now w;
+      uncommitted = [];
+      last_commit_end = now w;
+      ckpt_request_ev = None;
+      work_done_ev = None;
+      wait_start = now w;
+      ckpt_content = 0.0;
+      holds_token = false;
+      committed_local = 0.0;
+      local_safe_time = now w;
+      local_pause_start = now w;
+      local_tick_ev = None;
+      local_done_ev = None;
+      delay_ev = None;
+    }
+  in
+  w.next_inst <- w.next_inst + 1;
+  w.jobs_started <- w.jobs_started + 1;
+  Hashtbl.replace w.insts inst.idx inst;
+  emit_inst w inst
+    (Trace.Job_started { restarts = inst.restarts; nodes = inst.spec.Jobgen.nodes });
+  match (entry.e_restart, w.cfg.Config.multilevel) with
+  | Soft, Some m ->
+      (* Restart from node-local state: a fixed delay, no PFS traffic. *)
+      inst.activity <- Local_recovery;
+      inst.wait_start <- now w;
+      inst.delay_ev <-
+        Some
+          (Engine.schedule_after w.engine ~delay:m.Config.local_recovery_s (fun _ ->
+               inst.delay_ev <- None;
+               Metrics.record w.metrics ~t0:inst.wait_start ~t1:(now w)
+                 ~nodes:inst.spec.Jobgen.nodes Metrics.Recovery_io;
+               on_blocking_io_done w inst Io.Recovery))
+  | (Fresh | Soft | Hard), _ ->
+      let volume =
+        if entry.e_restart <> Fresh then
+          if entry.e_has_ckpt then inst.spec.Jobgen.ckpt_gb else inst.spec.Jobgen.input_gb
+        else inst.spec.Jobgen.input_gb
+      in
+      let kind = if entry.e_restart <> Fresh then Io.Recovery else Io.Input in
+      begin_blocking_io w inst kind volume
+
+(* Initial input, recovery reads and final outputs are blocking in every
+   strategy; under a token discipline they queue, otherwise they start at
+   once. *)
+and begin_blocking_io w inst kind volume =
+  match (kind, w.bb) with
+  | Io.Recovery, Some bb when Burst_buffer.resident_for bb ~owner:inst.spec.Jobgen.id ->
+      (* Fast restart: the newest checkpoint is still in the burst buffer. *)
+      let flow =
+        Burst_buffer.read bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
+          ~nodes:inst.spec.Jobgen.nodes ~volume_gb:volume ~on_complete:(fun () ->
+            on_blocking_io_done w inst kind)
+      in
+      inst.activity <- Doing_io (Burst_buffer.io bb, flow, kind)
+  | _ ->
+  if volume <= 0.0 then begin
+    (* No bytes to move: complete through the flow engine's zero-volume
+       path (an immediate event a kill can still abort), without taking the
+       token. *)
+    let flow =
+      Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind ~volume_gb:0.0
+        ~on_complete:(fun () -> on_blocking_io_done w inst kind)
+    in
+    inst.activity <- Doing_io (w.io, flow, kind)
+  end
+  else if w.uses_token then begin
+    inst.activity <- Waiting_io kind;
+    inst.wait_start <- now w;
+    Arbiter.submit w inst (Req_io kind) volume;
+    Arbiter.try_grant w
+  end
+  else begin
+    let flow =
+      Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind ~volume_gb:volume
+        ~on_complete:(blocking_complete w inst kind ~volume)
+    in
+    inst.activity <- Doing_io (w.io, flow, kind)
+  end
+
+(* Completion continuation for a blocking transfer; when instrumentation is
+   on, regular input/output transfers additionally report their dilation
+   factor (actual over nominal full-bandwidth duration). *)
+and blocking_complete w inst kind ~volume =
+  match w.hooks with
+  | Some h when (kind = Io.Input || kind = Io.Output) && volume > 0.0 ->
+      let t0 = now w in
+      let nominal = volume /. bandwidth w in
+      fun () ->
+        h.on_io_dilation ((now w -. t0) /. nominal);
+        on_blocking_io_done w inst kind
+  | _ -> fun () -> on_blocking_io_done w inst kind
+
+and on_blocking_io_done w inst kind =
+  release_token w inst;
+  (match kind with
+  | Io.Input | Io.Recovery ->
+      (* Work phase begins: exposure clock starts, the first checkpoint
+         request lands one (P − C) from now (subsequent requests measure
+         from each commit's end, Section 2). *)
+      emit_inst w inst Trace.Input_done;
+      inst.last_commit_end <- now w;
+      inst.local_safe_time <- now w;
+      Ckpt_path.schedule_ckpt_request w inst;
+      Ckpt_path.schedule_local_tick w inst;
+      start_compute w inst
+  | Io.Output -> finish_job w inst
+  | Io.Ckpt | Io.Drain -> assert false);
+  if w.uses_token then Arbiter.try_grant w
+
+and start_compute w inst =
+  let left = inst.total_work -. inst.work_done in
+  inst.activity <- Computing;
+  inst.compute_start <- now w;
+  inst.work_done_ev <-
+    Some
+      (Engine.schedule_after w.engine ~delay:(Float.max left 0.0) (fun _ ->
+           inst.work_done_ev <- None;
+           on_work_complete w inst))
+
+and on_work_complete w inst =
+  emit_inst w inst Trace.Work_completed;
+  pause_compute w inst;
+  cancel_local_events w inst;
+  cancel_ckpt_request_ev w inst;
+  Arbiter.cancel_requests_of w inst;
+  begin_blocking_io w inst Io.Output inst.spec.Jobgen.output_gb
+
+and finish_job w inst =
+  emit_inst w inst Trace.Job_completed;
+  flush_uncommitted w inst Metrics.Work;
+  Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:(now w)
+    ~nodes:inst.spec.Jobgen.nodes;
+  Node_pool.release w.pool inst.nodes;
+  Hashtbl.remove w.insts inst.idx;
+  w.jobs_completed <- w.jobs_completed + 1;
+  try_start w
+
+(* The Req_io grant continuation ({!Arbiter.try_grant} dispatches here
+   through [w.h_grant_io]). *)
+let grant_io w (req : request) =
+  let inst = req.r_inst in
+  let kind = match req.r_kind with Req_io k -> k | Req_ckpt -> assert false in
+  record_wait w inst ~from:inst.wait_start;
+  let flow =
+    Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind
+      ~volume_gb:req.r_volume
+      ~on_complete:(blocking_complete w inst kind ~volume:req.r_volume)
+  in
+  inst.activity <- Doing_io (w.io, flow, kind)

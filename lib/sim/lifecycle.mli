@@ -1,0 +1,15 @@
+(** The job lifecycle: first-fit starts from the submission queue, the
+    blocking input/recovery/output transfers bracketing the work phase,
+    the compute clock, and completion. *)
+
+val try_start : Sim_types.w -> unit
+(** Greedy first-fit pass over the priority-ordered submission queue:
+    start every entry that fits in the currently free nodes. *)
+
+val start_compute : Sim_types.w -> Sim_types.inst -> unit
+(** (Re)enter the computing state and arm the work-completion event for
+    the remaining work. *)
+
+val grant_io : Sim_types.w -> Sim_types.request -> unit
+(** Token-grant continuation for a blocking transfer request: account the
+    wait and start the flow. *)

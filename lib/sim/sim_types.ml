@@ -1,0 +1,241 @@
+(* The simulator's shared vocabulary: the world record [w], per-instance
+   state, queued submissions, token requests, and the [ARBITER] contract
+   every token-granting policy implements. This module holds state and
+   state-only helpers; the event logic lives in {!Arbiter} (token
+   arbitration), {!Ckpt_path} (request → commit/abort), {!Lifecycle}
+   (start/compute/finish) and {!Failure_path} (kill/restart), with
+   {!Simulator} as the unchanged facade.
+
+   The handlers form one event web across those modules. The compilation
+   order breaks the cycles with three late-bound continuations stored in
+   [w] ([h_grant_io], [h_grant_ckpt], [h_start_compute]), wired once by
+   {!Simulator.run} before the first event fires. *)
+
+open Cocheck_util
+module Engine = Cocheck_des.Engine
+module Platform = Cocheck_model.Platform
+module App_class = Cocheck_model.App_class
+module Jobgen = Cocheck_model.Jobgen
+module Io = Io_subsystem
+
+(* A queued (re)submission. [e_remaining] is the work left after the last
+   committed checkpoint; [e_restart] marks how the next instance recovers
+   (a [Soft] restart reads node-local state under two-level CR). *)
+type restart_kind = Fresh | Soft | Hard
+
+type entry = {
+  e_spec : Jobgen.spec;
+  e_remaining : float;
+  e_restart : restart_kind;
+  e_has_ckpt : bool;  (* some instance of this job ever committed globally *)
+  e_restarts : int;
+}
+
+type activity =
+  | Doing_io of Io.t * Io.flow * Io.io_kind
+  | Computing
+  | Computing_pending  (* non-blocking: computing with a checkpoint request out *)
+  | Waiting_io of Io.io_kind
+  | Waiting_ckpt  (* blocking FCFS: idle until the token grants the commit *)
+  | Local_ckpt  (* two-level: paused for a node-local snapshot *)
+  | Local_recovery  (* two-level: restarting from node-local state *)
+
+type inst = {
+  idx : int;
+  spec : Jobgen.spec;
+  total_work : float;
+  entry_has_ckpt : bool;
+  restarts : int;
+  nodes : Node_pool.allocation;
+  start_time : float;
+  period : float;  (* P_i under the strategy's period rule *)
+  ckpt_nominal : float;  (* C_i at full bandwidth *)
+  mutable activity : activity;
+  mutable work_done : float;
+  mutable committed : float;
+  mutable has_ckpt : bool;  (* committed during this instance *)
+  mutable compute_start : float;
+  mutable uncommitted : (float * float) list;  (* work intervals since last commit *)
+  mutable last_commit_end : float;
+  mutable ckpt_request_ev : Engine.handle option;
+  mutable work_done_ev : Engine.handle option;
+  mutable wait_start : float;
+  mutable ckpt_content : float;  (* work level a commit in flight captures *)
+  mutable holds_token : bool;
+  (* two-level checkpointing state *)
+  mutable committed_local : float;  (* work level of the newest local snapshot *)
+  mutable local_safe_time : float;  (* wall time of that capture point *)
+  mutable local_pause_start : float;
+  mutable local_tick_ev : Engine.handle option;
+  mutable local_done_ev : Engine.handle option;
+  mutable delay_ev : Engine.handle option;  (* local-recovery delay *)
+}
+
+type rkind = Req_ckpt | Req_io of Io.io_kind
+
+type request = {
+  r_id : int;
+  r_inst : inst;
+  r_kind : rkind;
+  r_volume : float;
+  r_at : float;
+  mutable r_cancelled : bool;
+}
+
+(* Arbiter observability: cumulative counters plus the live backlog, cheap
+   enough to read at every probe. *)
+type arb_stats = {
+  arb_policy : string;
+  arb_pending : int;  (* live (non-cancelled) requests right now *)
+  arb_enqueued : int;  (* requests ever submitted *)
+  arb_granted : int;  (* requests ever selected *)
+  arb_cancelled : int;  (* requests withdrawn by kills and completions *)
+}
+
+(* The pluggable token-arbitration policy. Implementations own their queue
+   structure; the simulator core only submits, withdraws and selects.
+   [select] removes and returns the granted request — it must never return
+   a cancelled request — and [pending] counts the live backlog. *)
+module type ARBITER = sig
+  val policy : string
+  (** Display name of the policy, for stats and dashboards. *)
+
+  val enqueue : request -> unit
+  (** Submit a request; arrival order is observable to every policy. *)
+
+  val cancel_of_inst : inst -> unit
+  (** Withdraw every request of a killed or finished instance, so a stale
+      request is never granted (lazily marked or eagerly removed — the
+      choice is private to the implementation). *)
+
+  val select : now:float -> request option
+  (** Pick, remove and return the next request to grant at time [now]. *)
+
+  val pending : unit -> int
+  (** Live requests awaiting the token. *)
+
+  val stats : unit -> arb_stats
+  (** Observability snapshot. *)
+end
+
+type arbiter = (module ARBITER)
+
+type hooks = {
+  on_token_wait : float -> unit;
+  on_ckpt_duration : float -> unit;
+  on_io_dilation : float -> unit;
+  on_lost_work : float -> unit;
+}
+
+type w = {
+  cfg : Config.t;
+  classes : App_class.t array;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  io : Io.t;
+  pool : Node_pool.t;
+  periods : float array;  (* per class index *)
+  ckpt_nominals : float array;
+  uses_token : bool;
+  ckpt_enabled : bool;
+  arbiter : arbiter;
+  mutable queue : entry list;  (* priority order: restarts first *)
+  insts : (int, inst) Hashtbl.t;
+  bb : Burst_buffer.t option;
+  trace : Trace.t option;
+  hooks : hooks option;  (* None keeps the hot path allocation-free *)
+  soft_rng : Rng.t;  (* classifies failures soft/hard under two-level CR *)
+  mutable token_busy : bool;
+  mutable next_inst : int;
+  mutable next_req : int;
+  (* Late-bound continuations breaking the Arbiter/Ckpt_path → Lifecycle
+     module cycle; Simulator.run wires them before the first event. *)
+  mutable h_grant_io : request -> unit;
+  mutable h_grant_ckpt : request -> unit;
+  mutable h_start_compute : inst -> unit;
+  interval_stats : Stats.running array;
+  ckpt_wait_stats : Stats.running array;
+  restarts_by_class : int array;
+  lost_ns_by_class : float array;
+  mutable failures_seen : int;
+  mutable failures_hitting_jobs : int;
+  mutable ckpts_committed : int;
+  mutable ckpts_aborted : int;
+  mutable restarts : int;
+  mutable jobs_started : int;
+  mutable jobs_completed : int;
+}
+
+let eps_work = 1e-6
+let now w = Engine.now w.engine
+let bandwidth w = w.cfg.Config.platform.Platform.bandwidth_gbs
+
+let unwired : 'a. 'a -> unit =
+ fun _ -> invalid_arg "Sim_types: continuation used before Simulator.run wired it"
+
+let cancel_ckpt_request_ev w inst =
+  match inst.ckpt_request_ev with
+  | Some h ->
+      ignore (Engine.cancel w.engine h);
+      inst.ckpt_request_ev <- None
+  | None -> ()
+
+let cancel_work_done_ev w inst =
+  match inst.work_done_ev with
+  | Some h ->
+      ignore (Engine.cancel w.engine h);
+      inst.work_done_ev <- None
+  | None -> ()
+
+let cancel_local_events w inst =
+  List.iter
+    (fun h_opt -> match h_opt with Some h -> ignore (Engine.cancel w.engine h) | None -> ())
+    [ inst.local_tick_ev; inst.local_done_ev; inst.delay_ev ];
+  inst.local_tick_ev <- None;
+  inst.local_done_ev <- None;
+  inst.delay_ev <- None
+
+(* Close the open compute interval: bank the work and remember the interval
+   as uncommitted until the next checkpoint commits (or a failure loses it). *)
+let pause_compute w inst =
+  (match inst.activity with
+  | Computing | Computing_pending -> ()
+  | _ -> invalid_arg "Simulator.pause_compute: not computing");
+  cancel_work_done_ev w inst;
+  let t = now w in
+  if t > inst.compute_start then begin
+    inst.work_done <- inst.work_done +. (t -. inst.compute_start);
+    inst.uncommitted <- (inst.compute_start, t) :: inst.uncommitted
+  end
+
+let flush_uncommitted w inst kind =
+  List.iter
+    (fun (t0, t1) -> Metrics.record w.metrics ~t0 ~t1 ~nodes:inst.spec.nodes kind)
+    inst.uncommitted;
+  inst.uncommitted <- []
+
+let record_wait w inst ~from =
+  Metrics.record w.metrics ~t0:from ~t1:(now w) ~nodes:inst.spec.nodes Metrics.Wait
+
+let emit w ~job ~inst kind =
+  match w.trace with
+  | Some t -> Trace.record t { Trace.time = now w; job; inst; kind }
+  | None -> ()
+
+let emit_inst w (inst : inst) kind = emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx kind
+
+let release_token w inst =
+  if inst.holds_token then begin
+    inst.holds_token <- false;
+    w.token_busy <- false
+  end
+
+(* A flow may live on the PFS or inside the burst buffer; burst-buffer
+   writes additionally hold a capacity reservation to release. *)
+let abort_inst_flow w sub flow =
+  match w.bb with
+  | Some bb when sub == Burst_buffer.io bb ->
+      Burst_buffer.abort_write bb flow;
+      (* Reads have no reservation; abort_write ignores them. *)
+      Io.abort_flow sub flow
+  | _ -> Io.abort_flow sub flow

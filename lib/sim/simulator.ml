@@ -1,8 +1,13 @@
+(* The facade: configuration → periods → world construction → event loop →
+   result extraction. The event web itself lives in the layered modules —
+   Sim_types (state), Arbiter (token arbitration), Ckpt_path (request →
+   commit/abort), Lifecycle (start/compute/finish), Failure_path
+   (kill/restart). *)
+
 open Cocheck_util
+open Sim_types
 module Engine = Cocheck_des.Engine
 module Strategy = Cocheck_core.Strategy
-module Candidate = Cocheck_core.Candidate
-module Least_waste = Cocheck_core.Least_waste
 module Daly = Cocheck_core.Daly
 module Platform = Cocheck_model.Platform
 module App_class = Cocheck_model.App_class
@@ -53,7 +58,7 @@ type snapshot = {
   waste_by_kind : (Metrics.kind * float) list;
 }
 
-type hooks = {
+type hooks = Sim_types.hooks = {
   on_token_wait : float -> unit;
   on_ckpt_duration : float -> unit;
   on_io_dilation : float -> unit;
@@ -68,699 +73,10 @@ let no_hooks =
     on_lost_work = ignore;
   }
 
-(* A queued (re)submission. [remaining] is the work left after the last
-   committed checkpoint; [recovery] marks a restart whose input read is
-   failure-induced. *)
-type restart_kind = Fresh | Soft | Hard
-
-type entry = {
-  e_spec : Jobgen.spec;
-  e_remaining : float;
-  e_restart : restart_kind;
-  e_has_ckpt : bool;  (* some instance of this job ever committed globally *)
-  e_restarts : int;
-}
-
-type activity =
-  | Doing_io of Io.t * Io.flow * Io.io_kind
-  | Computing
-  | Computing_pending  (* non-blocking: computing with a checkpoint request out *)
-  | Waiting_io of Io.io_kind
-  | Waiting_ckpt  (* blocking FCFS: idle until the token grants the commit *)
-  | Local_ckpt  (* two-level: paused for a node-local snapshot *)
-  | Local_recovery  (* two-level: restarting from node-local state *)
-
-type inst = {
-  idx : int;
-  spec : Jobgen.spec;
-  total_work : float;
-  entry_has_ckpt : bool;
-  restarts : int;
-  nodes : Node_pool.allocation;
-  start_time : float;
-  period : float;  (* P_i under the strategy's period rule *)
-  ckpt_nominal : float;  (* C_i at full bandwidth *)
-  mutable activity : activity;
-  mutable work_done : float;
-  mutable committed : float;
-  mutable has_ckpt : bool;  (* committed during this instance *)
-  mutable compute_start : float;
-  mutable uncommitted : (float * float) list;  (* work intervals since last commit *)
-  mutable last_commit_end : float;
-  mutable ckpt_request_ev : Engine.handle option;
-  mutable work_done_ev : Engine.handle option;
-  mutable wait_start : float;
-  mutable ckpt_content : float;  (* work level a commit in flight captures *)
-  mutable holds_token : bool;
-  (* two-level checkpointing state *)
-  mutable committed_local : float;  (* work level of the newest local snapshot *)
-  mutable local_safe_time : float;  (* wall time of that capture point *)
-  mutable local_pause_start : float;
-  mutable local_tick_ev : Engine.handle option;
-  mutable local_done_ev : Engine.handle option;
-  mutable delay_ev : Engine.handle option;  (* local-recovery delay *)
-}
-
-type rkind = Req_ckpt | Req_io of Io.io_kind
-
-type request = {
-  r_id : int;
-  r_inst : inst;
-  r_kind : rkind;
-  r_volume : float;
-  r_at : float;
-  mutable r_cancelled : bool;
-}
-
-type w = {
-  cfg : Config.t;
-  classes : App_class.t array;
-  engine : Engine.t;
-  metrics : Metrics.t;
-  io : Io.t;
-  pool : Node_pool.t;
-  periods : float array;  (* per class index *)
-  ckpt_nominals : float array;
-  uses_token : bool;
-  ckpt_enabled : bool;
-  lw : bool;
-  mutable queue : entry list;  (* priority order: restarts first *)
-  fifo : request Queue.t;
-  mutable lw_pool : request list;  (* arrival order *)
-  insts : (int, inst) Hashtbl.t;
-  bb : Burst_buffer.t option;
-  trace : Trace.t option;
-  hooks : hooks option;  (* None keeps the hot path allocation-free *)
-  soft_rng : Rng.t;  (* classifies failures soft/hard under two-level CR *)
-  mutable token_busy : bool;
-  mutable next_inst : int;
-  mutable next_req : int;
-  interval_stats : Stats.running array;
-  ckpt_wait_stats : Stats.running array;
-  restarts_by_class : int array;
-  lost_ns_by_class : float array;
-  mutable failures_seen : int;
-  mutable failures_hitting_jobs : int;
-  mutable ckpts_committed : int;
-  mutable ckpts_aborted : int;
-  mutable restarts : int;
-  mutable jobs_started : int;
-  mutable jobs_completed : int;
-}
-
-let eps_work = 1e-6
-
 let generate_specs (cfg : Config.t) =
   let rng = Rng.substream (Rng.create ~seed:cfg.seed) "jobs" in
   Jobgen.generate ~rng ~platform:cfg.platform ~classes:cfg.classes
     ~min_duration_s:cfg.min_duration_s ~fill_factor:cfg.fill_factor ()
-
-let now w = Engine.now w.engine
-
-let cancel_ckpt_request_ev w inst =
-  match inst.ckpt_request_ev with
-  | Some h ->
-      ignore (Engine.cancel w.engine h);
-      inst.ckpt_request_ev <- None
-  | None -> ()
-
-let cancel_work_done_ev w inst =
-  match inst.work_done_ev with
-  | Some h ->
-      ignore (Engine.cancel w.engine h);
-      inst.work_done_ev <- None
-  | None -> ()
-
-let cancel_requests_of w inst =
-  Queue.iter (fun r -> if r.r_inst.idx = inst.idx then r.r_cancelled <- true) w.fifo;
-  w.lw_pool <- List.filter (fun r -> r.r_inst.idx <> inst.idx) w.lw_pool
-
-(* Close the open compute interval: bank the work and remember the interval
-   as uncommitted until the next checkpoint commits (or a failure loses it). *)
-let pause_compute w inst =
-  (match inst.activity with
-  | Computing | Computing_pending -> ()
-  | _ -> invalid_arg "Simulator.pause_compute: not computing");
-  cancel_work_done_ev w inst;
-  let t = now w in
-  if t > inst.compute_start then begin
-    inst.work_done <- inst.work_done +. (t -. inst.compute_start);
-    inst.uncommitted <- (inst.compute_start, t) :: inst.uncommitted
-  end
-
-let flush_uncommitted w inst kind =
-  List.iter
-    (fun (t0, t1) -> Metrics.record w.metrics ~t0 ~t1 ~nodes:inst.spec.nodes kind)
-    inst.uncommitted;
-  inst.uncommitted <- []
-
-let record_wait w inst ~from =
-  Metrics.record w.metrics ~t0:from ~t1:(now w) ~nodes:inst.spec.nodes Metrics.Wait
-
-let emit w ~job ~inst kind =
-  match w.trace with
-  | Some t -> Trace.record t { Trace.time = now w; job; inst; kind }
-  | None -> ()
-
-let emit_inst w (inst : inst) kind = emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx kind
-
-let bandwidth w = w.cfg.platform.Platform.bandwidth_gbs
-
-let cancel_local_events w inst =
-  List.iter
-    (fun h_opt -> match h_opt with Some h -> ignore (Engine.cancel w.engine h) | None -> ())
-    [ inst.local_tick_ev; inst.local_done_ev; inst.delay_ev ];
-  inst.local_tick_ev <- None;
-  inst.local_done_ev <- None;
-  inst.delay_ev <- None
-
-(* ------------------------------------------------------------------ *)
-(* Mutually recursive event handlers.                                   *)
-(* ------------------------------------------------------------------ *)
-
-let rec try_start w =
-  (* Greedy first-fit over the priority-ordered queue: start every entry
-     that fits in the currently free nodes. Explicit recursion fixes the
-     left-to-right evaluation the allocation side effects rely on. *)
-  let rec go acc = function
-    | [] -> List.rev acc
-    | entry :: rest -> (
-        match
-          Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes
-        with
-        | None -> go (entry :: acc) rest
-        | Some nodes ->
-            start_instance w entry nodes;
-            go acc rest)
-  in
-  w.queue <- go [] w.queue
-
-and start_instance w entry nodes =
-  let ci = entry.e_spec.Jobgen.class_index in
-  let inst =
-    {
-      idx = w.next_inst;
-      spec = entry.e_spec;
-      total_work = entry.e_remaining;
-      entry_has_ckpt = entry.e_has_ckpt;
-      restarts = entry.e_restarts;
-      nodes;
-      start_time = now w;
-      period = w.periods.(ci);
-      ckpt_nominal = w.ckpt_nominals.(ci);
-      activity = Computing;
-      work_done = 0.0;
-      committed = 0.0;
-      has_ckpt = false;
-      compute_start = now w;
-      uncommitted = [];
-      last_commit_end = now w;
-      ckpt_request_ev = None;
-      work_done_ev = None;
-      wait_start = now w;
-      ckpt_content = 0.0;
-      holds_token = false;
-      committed_local = 0.0;
-      local_safe_time = now w;
-      local_pause_start = now w;
-      local_tick_ev = None;
-      local_done_ev = None;
-      delay_ev = None;
-    }
-  in
-  w.next_inst <- w.next_inst + 1;
-  w.jobs_started <- w.jobs_started + 1;
-  Hashtbl.replace w.insts inst.idx inst;
-  emit_inst w inst
-    (Trace.Job_started { restarts = inst.restarts; nodes = inst.spec.Jobgen.nodes });
-  match (entry.e_restart, w.cfg.multilevel) with
-  | Soft, Some m ->
-      (* Restart from node-local state: a fixed delay, no PFS traffic. *)
-      inst.activity <- Local_recovery;
-      inst.wait_start <- now w;
-      inst.delay_ev <-
-        Some
-          (Engine.schedule_after w.engine ~delay:m.Config.local_recovery_s (fun _ ->
-               inst.delay_ev <- None;
-               Metrics.record w.metrics ~t0:inst.wait_start ~t1:(now w)
-                 ~nodes:inst.spec.Jobgen.nodes Metrics.Recovery_io;
-               on_blocking_io_done w inst Io.Recovery))
-  | (Fresh | Soft | Hard), _ ->
-      let volume =
-        if entry.e_restart <> Fresh then
-          if entry.e_has_ckpt then inst.spec.Jobgen.ckpt_gb else inst.spec.Jobgen.input_gb
-        else inst.spec.Jobgen.input_gb
-      in
-      let kind = if entry.e_restart <> Fresh then Io.Recovery else Io.Input in
-      begin_blocking_io w inst kind volume
-
-(* Initial input, recovery reads and final outputs are blocking in every
-   strategy; under a token discipline they queue, otherwise they start at
-   once. *)
-and begin_blocking_io w inst kind volume =
-  match (kind, w.bb) with
-  | Io.Recovery, Some bb when Burst_buffer.resident_for bb ~owner:inst.spec.Jobgen.id ->
-      (* Fast restart: the newest checkpoint is still in the burst buffer. *)
-      let flow =
-        Burst_buffer.read bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
-          ~nodes:inst.spec.Jobgen.nodes ~volume_gb:volume ~on_complete:(fun () ->
-            on_blocking_io_done w inst kind)
-      in
-      inst.activity <- Doing_io (Burst_buffer.io bb, flow, kind)
-  | _ ->
-  if volume <= 0.0 then begin
-    (* No bytes to move: complete through the flow engine's zero-volume
-       path (an immediate event a kill can still abort), without taking the
-       token. *)
-    let flow =
-      Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind ~volume_gb:0.0
-        ~on_complete:(fun () -> on_blocking_io_done w inst kind)
-    in
-    inst.activity <- Doing_io (w.io, flow, kind)
-  end
-  else if w.uses_token then begin
-    inst.activity <- Waiting_io kind;
-    inst.wait_start <- now w;
-    enqueue_request w inst (Req_io kind) volume;
-    try_grant w
-  end
-  else begin
-    let flow =
-      Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind ~volume_gb:volume
-        ~on_complete:(blocking_complete w inst kind ~volume)
-    in
-    inst.activity <- Doing_io (w.io, flow, kind)
-  end
-
-(* Completion continuation for a blocking transfer; when instrumentation is
-   on, regular input/output transfers additionally report their dilation
-   factor (actual over nominal full-bandwidth duration). *)
-and blocking_complete w inst kind ~volume =
-  match w.hooks with
-  | Some h when (kind = Io.Input || kind = Io.Output) && volume > 0.0 ->
-      let t0 = now w in
-      let nominal = volume /. bandwidth w in
-      fun () ->
-        h.on_io_dilation ((now w -. t0) /. nominal);
-        on_blocking_io_done w inst kind
-  | _ -> fun () -> on_blocking_io_done w inst kind
-
-and release_token w inst =
-  if inst.holds_token then begin
-    inst.holds_token <- false;
-    w.token_busy <- false
-  end
-
-and on_blocking_io_done w inst kind =
-  release_token w inst;
-  (match kind with
-  | Io.Input | Io.Recovery ->
-      (* Work phase begins: exposure clock starts, the first checkpoint
-         request lands one (P − C) from now (subsequent requests measure
-         from each commit's end, Section 2). *)
-      emit_inst w inst Trace.Input_done;
-      inst.last_commit_end <- now w;
-      inst.local_safe_time <- now w;
-      schedule_ckpt_request w inst;
-      schedule_local_tick w inst;
-      start_compute w inst
-  | Io.Output -> finish_job w inst
-  | Io.Ckpt | Io.Drain -> assert false);
-  if w.uses_token then try_grant w
-
-and start_compute w inst =
-  let left = inst.total_work -. inst.work_done in
-  inst.activity <- Computing;
-  inst.compute_start <- now w;
-  inst.work_done_ev <-
-    Some
-      (Engine.schedule_after w.engine ~delay:(Float.max left 0.0) (fun _ ->
-           inst.work_done_ev <- None;
-           on_work_complete w inst))
-
-and schedule_local_tick w inst =
-  match w.cfg.multilevel with
-  | Some m when w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work ->
-      inst.local_tick_ev <-
-        Some
-          (Engine.schedule_after w.engine ~delay:m.Config.local_period_s (fun _ ->
-               inst.local_tick_ev <- None;
-               on_local_tick w m inst))
-  | _ -> ()
-
-and on_local_tick w m inst =
-  match inst.activity with
-  | Computing ->
-      let left = inst.total_work -. inst.work_done -. (now w -. inst.compute_start) in
-      if left <= eps_work then ()
-      else begin
-        pause_compute w inst;
-        inst.activity <- Local_ckpt;
-        inst.local_pause_start <- now w;
-        inst.local_done_ev <-
-          Some
-            (Engine.schedule_after w.engine ~delay:m.Config.local_cost_s (fun _ ->
-                 inst.local_done_ev <- None;
-                 on_local_done w inst))
-      end
-  | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt ->
-      (* Busy with I/O-level activity: try again one local period later. *)
-      schedule_local_tick w inst
-  | Local_ckpt | Local_recovery -> assert false
-
-and on_local_done w inst =
-  Metrics.record w.metrics ~t0:inst.local_pause_start ~t1:(now w)
-    ~nodes:inst.spec.Jobgen.nodes Metrics.Local_ckpt;
-  (* The snapshot captures the state at the pause. Work banked before this
-     point survives soft failures; it is counted as progress at the next
-     soft rollback, an optimistic first-order treatment (a later hard
-     failure hitting the successor before its first global commit would in
-     reality re-lose it). *)
-  inst.committed_local <- inst.work_done;
-  inst.local_safe_time <- inst.local_pause_start;
-  schedule_local_tick w inst;
-  start_compute w inst
-
-and schedule_ckpt_request w inst =
-  if w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work then begin
-    let delay = Float.max 0.0 (inst.period -. inst.ckpt_nominal) in
-    inst.ckpt_request_ev <-
-      Some
-        (Engine.schedule_after w.engine ~delay (fun _ ->
-             inst.ckpt_request_ev <- None;
-             on_ckpt_request w inst))
-  end
-
-and on_ckpt_request w inst =
-  emit_inst w inst Trace.Ckpt_requested;
-  match inst.activity with
-  | Computing ->
-      let left = inst.total_work -. inst.work_done -. (now w -. inst.compute_start) in
-      if left <= eps_work then ()
-        (* the work-completion event fires at this same instant; skip *)
-      else begin
-        match w.bb with
-        | Some bb when Burst_buffer.fits bb ~volume_gb:inst.spec.Jobgen.ckpt_gb ->
-            (* The buffer absorbs the commit at its own speed, bypassing
-               the strategy's PFS arbitration entirely. *)
-            pause_compute w inst;
-            start_bb_ckpt_flow w bb inst
-        | bb_opt ->
-        Option.iter (fun bb -> Burst_buffer.note_spill bb) bb_opt;
-        match w.cfg.strategy with
-        | Strategy.Oblivious _ ->
-            Stats.running_add w.ckpt_wait_stats.(inst.spec.Jobgen.class_index) 0.0;
-            pause_compute w inst;
-            start_ckpt_flow w inst
-        | Strategy.Ordered _ ->
-            pause_compute w inst;
-            inst.activity <- Waiting_ckpt;
-            inst.wait_start <- now w;
-            enqueue_request w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
-            try_grant w
-        | Strategy.Ordered_nb _ | Strategy.Least_waste ->
-            inst.activity <- Computing_pending;
-            enqueue_request w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
-            try_grant w
-        | Strategy.Baseline -> assert false
-      end
-  | Local_ckpt ->
-      (* A local snapshot is in flight: retry just after it finishes. *)
-      let retry =
-        match w.cfg.multilevel with
-        | Some m -> Float.max m.Config.local_cost_s 1.0
-        | None -> 1.0
-      in
-      inst.ckpt_request_ev <-
-        Some
-          (Engine.schedule_after w.engine ~delay:retry (fun _ ->
-               inst.ckpt_request_ev <- None;
-               on_ckpt_request w inst))
-  | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt | Local_recovery ->
-      (* Requests are cancelled whenever the job leaves the computing state,
-         so a firing request always finds it computing (or locally
-         snapshotting). *)
-      assert false
-
-and ckpt_complete w inst =
-  match w.hooks with
-  | Some h ->
-      let t0 = now w in
-      fun () ->
-        h.on_ckpt_duration (now w -. t0);
-        on_ckpt_done w inst
-  | None -> fun () -> on_ckpt_done w inst
-
-and start_ckpt_flow w inst =
-  emit_inst w inst Trace.Ckpt_started;
-  inst.ckpt_content <- inst.work_done;
-  let flow =
-    Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind:Io.Ckpt
-      ~volume_gb:inst.spec.Jobgen.ckpt_gb ~on_complete:(ckpt_complete w inst)
-  in
-  inst.activity <- Doing_io (w.io, flow, Io.Ckpt)
-
-and start_bb_ckpt_flow w bb inst =
-  emit_inst w inst Trace.Ckpt_started;
-  inst.ckpt_content <- inst.work_done;
-  let flow =
-    Burst_buffer.write bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
-      ~nodes:inst.spec.Jobgen.nodes ~volume_gb:inst.spec.Jobgen.ckpt_gb
-      ~on_complete:(ckpt_complete w inst)
-  in
-  inst.activity <- Doing_io (Burst_buffer.io bb, flow, Io.Ckpt)
-
-and on_ckpt_done w inst =
-  release_token w inst;
-  inst.committed <- inst.ckpt_content;
-  emit_inst w inst (Trace.Ckpt_committed { work = inst.ckpt_content });
-  if inst.ckpt_content > inst.committed_local then inst.committed_local <- inst.ckpt_content;
-  inst.local_safe_time <- now w;
-  flush_uncommitted w inst Metrics.Work;
-  if inst.has_ckpt then
-    Stats.running_add
-      w.interval_stats.(inst.spec.Jobgen.class_index)
-      (now w -. inst.last_commit_end);
-  inst.has_ckpt <- true;
-  inst.last_commit_end <- now w;
-  w.ckpts_committed <- w.ckpts_committed + 1;
-  schedule_ckpt_request w inst;
-  start_compute w inst;
-  if w.uses_token then try_grant w
-
-and on_work_complete w inst =
-  emit_inst w inst Trace.Work_completed;
-  pause_compute w inst;
-  cancel_local_events w inst;
-  cancel_ckpt_request_ev w inst;
-  cancel_requests_of w inst;
-  begin_blocking_io w inst Io.Output inst.spec.Jobgen.output_gb
-
-and finish_job w inst =
-  emit_inst w inst Trace.Job_completed;
-  flush_uncommitted w inst Metrics.Work;
-  Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:(now w)
-    ~nodes:inst.spec.Jobgen.nodes;
-  Node_pool.release w.pool inst.nodes;
-  Hashtbl.remove w.insts inst.idx;
-  w.jobs_completed <- w.jobs_completed + 1;
-  try_start w
-
-and enqueue_request w inst kind volume =
-  let req =
-    {
-      r_id = w.next_req;
-      r_inst = inst;
-      r_kind = kind;
-      r_volume = volume;
-      r_at = now w;
-      r_cancelled = false;
-    }
-  in
-  w.next_req <- w.next_req + 1;
-  if w.lw then w.lw_pool <- w.lw_pool @ [ req ] else Queue.add req w.fifo
-
-and next_request w =
-  if w.lw then begin
-    match w.lw_pool with
-    | [] -> None
-    | pool ->
-        let to_candidate r =
-          match r.r_kind with
-          | Req_io _ ->
-              Candidate.Io
-                {
-                  Candidate.key = r.r_id;
-                  nodes = r.r_inst.spec.Jobgen.nodes;
-                  service_s = r.r_volume /. bandwidth w;
-                  waited_s = now w -. r.r_at;
-                }
-          | Req_ckpt ->
-              Candidate.Ckpt
-                {
-                  Candidate.key = r.r_id;
-                  nodes = r.r_inst.spec.Jobgen.nodes;
-                  ckpt_s = r.r_inst.ckpt_nominal;
-                  exposed_s = now w -. r.r_inst.last_commit_end;
-                  recovery_s = r.r_inst.ckpt_nominal;
-                }
-        in
-        let cands = List.map to_candidate pool in
-        let chosen =
-          Least_waste.select ~node_mtbf_s:w.cfg.platform.Platform.node_mtbf_s cands
-        in
-        Option.map
-          (fun c ->
-            let key = Candidate.key c in
-            let req = List.find (fun r -> r.r_id = key) pool in
-            w.lw_pool <- List.filter (fun r -> r.r_id <> key) pool;
-            req)
-          chosen
-  end
-  else begin
-    let rec pop () =
-      match Queue.take_opt w.fifo with
-      | None -> None
-      | Some r when r.r_cancelled -> pop ()
-      | Some r -> Some r
-    in
-    pop ()
-  end
-
-and try_grant w =
-  if w.uses_token && not w.token_busy then begin
-    match next_request w with
-    | None -> ()
-    | Some req ->
-        w.token_busy <- true;
-        let inst = req.r_inst in
-        inst.holds_token <- true;
-        emit_inst w inst Trace.Token_granted;
-        (match w.hooks with
-        | Some h -> h.on_token_wait (now w -. req.r_at)
-        | None -> ());
-        (match req.r_kind with
-        | Req_io kind ->
-            record_wait w inst ~from:inst.wait_start;
-            let flow =
-              Io.start_flow w.io ~job:inst.idx ~nodes:inst.spec.Jobgen.nodes ~kind
-                ~volume_gb:req.r_volume
-                ~on_complete:(blocking_complete w inst kind ~volume:req.r_volume)
-            in
-            inst.activity <- Doing_io (w.io, flow, kind)
-        | Req_ckpt ->
-            Stats.running_add
-              w.ckpt_wait_stats.(inst.spec.Jobgen.class_index)
-              (now w -. req.r_at);
-            (match inst.activity with
-            | Waiting_ckpt -> record_wait w inst ~from:inst.wait_start
-            | Computing_pending -> pause_compute w inst
-            | Doing_io _ | Computing | Waiting_io _ | Local_ckpt | Local_recovery ->
-                assert false);
-            start_ckpt_flow w inst)
-  end
-
-(* A flow may live on the PFS or inside the burst buffer; burst-buffer
-   writes additionally hold a capacity reservation to release. *)
-let abort_inst_flow w sub flow =
-  match w.bb with
-  | Some bb when sub == Burst_buffer.io bb ->
-      Burst_buffer.abort_write bb flow;
-      (* Reads have no reservation; abort_write ignores them. *)
-      Io.abort_flow sub flow
-  | _ -> Io.abort_flow sub flow
-
-(* ------------------------------------------------------------------ *)
-(* Failures.                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let kill_inst w inst =
-  let t = now w in
-  (match inst.activity with
-  | Doing_io (sub, flow, kind) ->
-      abort_inst_flow w sub flow;
-      if kind = Io.Ckpt then begin
-        w.ckpts_aborted <- w.ckpts_aborted + 1;
-        emit_inst w inst Trace.Ckpt_aborted
-      end
-  | Computing | Computing_pending -> pause_compute w inst
-  | Waiting_io _ | Waiting_ckpt -> record_wait w inst ~from:inst.wait_start
-  | Local_ckpt ->
-      Metrics.record w.metrics ~t0:inst.local_pause_start ~t1:t
-        ~nodes:inst.spec.Jobgen.nodes Metrics.Local_ckpt
-  | Local_recovery ->
-      Metrics.record w.metrics ~t0:inst.wait_start ~t1:t ~nodes:inst.spec.Jobgen.nodes
-        Metrics.Recovery_io);
-  release_token w inst;
-  cancel_local_events w inst;
-  cancel_ckpt_request_ev w inst;
-  cancel_work_done_ev w inst;
-  cancel_requests_of w inst;
-  let soft =
-    match w.cfg.multilevel with
-    | Some m -> Rng.unit_float w.soft_rng < m.Config.soft_fraction
-    | None -> false
-  in
-  let lost, kept =
-    if soft then
-      (* Work captured by the newest local snapshot survives the failure. *)
-      List.partition (fun (_, t1) -> t1 > inst.local_safe_time) inst.uncommitted
-    else (inst.uncommitted, [])
-  in
-  let ci = inst.spec.Jobgen.class_index in
-  let lost_s = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost in
-  w.restarts_by_class.(ci) <- w.restarts_by_class.(ci) + 1;
-  w.lost_ns_by_class.(ci) <-
-    w.lost_ns_by_class.(ci) +. (float_of_int inst.spec.Jobgen.nodes *. lost_s);
-  (match w.hooks with Some h -> h.on_lost_work lost_s | None -> ());
-  emit_inst w inst (Trace.Job_killed { lost_work = lost_s });
-  inst.uncommitted <- lost;
-  flush_uncommitted w inst Metrics.Lost_work;
-  inst.uncommitted <- kept;
-  flush_uncommitted w inst Metrics.Work;
-  Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:t ~nodes:inst.spec.Jobgen.nodes;
-  Node_pool.release w.pool inst.nodes;
-  Hashtbl.remove w.insts inst.idx;
-  let base = if soft then Float.max inst.committed inst.committed_local else inst.committed in
-  let remaining = Float.max 0.0 (inst.total_work -. base) in
-  w.restarts <- w.restarts + 1;
-  w.queue <-
-    {
-      e_spec = inst.spec;
-      e_remaining = remaining;
-      e_restart = (if soft then Soft else Hard);
-      e_has_ckpt = inst.has_ckpt || inst.entry_has_ckpt;
-      e_restarts = inst.restarts + 1;
-    }
-    :: w.queue;
-  try_start w;
-  if w.uses_token then try_grant w
-
-let handle_failure w (e : Failure_trace.event) =
-  w.failures_seen <- w.failures_seen + 1;
-  let victim =
-    Option.bind (Node_pool.owner w.pool e.node) (fun idx -> Hashtbl.find_opt w.insts idx)
-  in
-  (* Record the victim with the failure itself so traces can correlate a
-     kill with its cause; -1/-1 marks a failure striking an idle node. *)
-  (match victim with
-  | Some inst ->
-      emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node })
-  | None -> emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node }));
-  match victim with
-  | None -> ()
-  | Some inst ->
-      w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
-      kill_inst w inst
-
-let rec schedule_failures w trace =
-  let t = Failure_trace.peek_time trace in
-  if t <= w.cfg.horizon then
-    ignore
-      (Engine.schedule_at w.engine ~time:t (fun _ ->
-           let e = Failure_trace.next trace in
-           handle_failure w e;
-           schedule_failures w trace))
 
 (* ------------------------------------------------------------------ *)
 (* Time-series probes.                                                  *)
@@ -779,10 +95,6 @@ let snapshot_of w =
       | Doing_io _ -> incr in_io
       | Waiting_io _ | Waiting_ckpt | Local_ckpt | Local_recovery -> incr waiting)
     w.insts;
-  let token_queue =
-    Queue.fold (fun acc r -> if r.r_cancelled then acc else acc + 1) 0 w.fifo
-    + List.length w.lw_pool
-  in
   {
     snap_time = now w;
     free_nodes = Node_pool.free_count w.pool;
@@ -792,7 +104,7 @@ let snapshot_of w =
     computing = !computing;
     in_io = !in_io;
     waiting = !waiting;
-    token_queue;
+    token_queue = Arbiter.pending w;
     token_busy = w.token_busy;
     io_flows = Io.active_count w.io;
     io_rate_gbs = Io.current_rate_gbs w.io;
@@ -864,7 +176,7 @@ let period_of w_cfg ~optimal (c : App_class.t) =
       | Strategy.Fixed p -> p
       | Strategy.Daly -> Daly.period_for c ~platform
       | Strategy.Optimal -> List.assoc c.App_class.name (Lazy.force optimal))
-  | Strategy.Least_waste -> Daly.period_for c ~platform
+  | Strategy.Least_waste | Strategy.Greedy_exposure -> Daly.period_for c ~platform
 
 let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
   Config.validate cfg;
@@ -896,7 +208,10 @@ let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
         Array.map (fun c -> App_class.ckpt_time c ~platform:cfg.platform) classes;
       uses_token = Strategy.uses_token cfg.strategy;
       ckpt_enabled = cfg.strategy <> Strategy.Baseline;
-      lw = cfg.strategy = Strategy.Least_waste;
+      arbiter =
+        Arbiter.of_strategy cfg.strategy
+          ~node_mtbf_s:cfg.platform.Platform.node_mtbf_s
+          ~bandwidth_gbs:cfg.platform.Platform.bandwidth_gbs;
       queue =
         Array.to_list
           (Array.map
@@ -909,8 +224,6 @@ let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
                  e_restarts = 0;
                })
              specs);
-      fifo = Queue.create ();
-      lw_pool = [];
       insts = Hashtbl.create 64;
       trace;
       hooks;
@@ -925,6 +238,9 @@ let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
       token_busy = false;
       next_inst = 0;
       next_req = 0;
+      h_grant_io = unwired;
+      h_grant_ckpt = unwired;
+      h_start_compute = unwired;
       interval_stats = Array.map (fun _ -> Stats.running_create ()) classes;
       ckpt_wait_stats = Array.map (fun _ -> Stats.running_create ()) classes;
       restarts_by_class = Array.make (Array.length classes) 0;
@@ -938,6 +254,10 @@ let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
       jobs_completed = 0;
     }
   in
+  (* Wire the late-bound continuations before the first event fires. *)
+  w.h_grant_io <- Lifecycle.grant_io w;
+  w.h_grant_ckpt <- Ckpt_path.grant_ckpt w;
+  w.h_start_compute <- Lifecycle.start_compute w;
   if cfg.with_failures then begin
     let rng = Rng.substream (Rng.create ~seed:cfg.seed) "failures" in
     let trace =
@@ -945,12 +265,12 @@ let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
         ~node_mtbf_s:cfg.platform.Platform.node_mtbf_s
         ~distribution:cfg.failure_dist ()
     in
-    schedule_failures w trace
+    Failure_path.schedule_failures w trace
   end;
   (match sample with
   | Some (dt, observe) -> schedule_probes w ~dt observe
   | None -> ());
-  try_start w;
+  Lifecycle.try_start w;
   Engine.run ~until:cfg.horizon engine;
   finalize w;
   {

@@ -1,0 +1,8 @@
+(* Regenerate the golden-trace fixture:
+
+     dune exec test/golden/gen_golden.exe > test/golden_results.txt
+
+   Only do this deliberately — the whole point of the fixture is to pin the
+   simulator's behavior across refactors of its internals. *)
+
+let () = print_string (Golden_format.all_runs ())

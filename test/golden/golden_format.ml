@@ -1,0 +1,66 @@
+(* Canonical, bit-exact textual form of a [Simulator.result], shared by the
+   golden-trace generator (test/golden/gen_golden.ml) and the regression
+   test (test/test_golden.ml). Floats are printed as hexadecimal literals
+   ([%h]) so two results compare equal exactly when every field is
+   bit-identical — the contract the arbiter decomposition must preserve. *)
+
+module Platform = Cocheck_model.Platform
+module Strategy = Cocheck_core.Strategy
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module Metrics = Cocheck_sim.Metrics
+
+let seeds = [ 11; 42; 1337 ]
+let days = 2.0
+let bandwidth_gbs = 40.0
+
+let config ~strategy ~seed =
+  Config.make ~platform:(Platform.cielo ~bandwidth_gbs ()) ~strategy ~seed ~days ()
+
+let f v = Printf.sprintf "%h" v
+
+let named_floats pairs =
+  String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s:%s" k (f v)) pairs)
+
+let named_ints pairs =
+  String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) pairs)
+
+let result_block ~strategy ~seed (r : Simulator.result) =
+  String.concat "\n"
+    [
+      Printf.sprintf "run %s seed=%d" (Strategy.name strategy) seed;
+      "progress_ns=" ^ f r.progress_ns;
+      "waste_ns=" ^ f r.waste_ns;
+      "enrolled_ns=" ^ f r.enrolled_ns;
+      "by_kind="
+      ^ named_floats (List.map (fun (k, v) -> (Metrics.kind_name k, v)) r.by_kind);
+      Printf.sprintf "failures_seen=%d" r.failures_seen;
+      Printf.sprintf "failures_hitting_jobs=%d" r.failures_hitting_jobs;
+      Printf.sprintf "ckpts_committed=%d" r.ckpts_committed;
+      Printf.sprintf "ckpts_aborted=%d" r.ckpts_aborted;
+      Printf.sprintf "restarts=%d" r.restarts;
+      Printf.sprintf "jobs_started=%d" r.jobs_started;
+      Printf.sprintf "jobs_completed=%d" r.jobs_completed;
+      Printf.sprintf "events=%d" r.events;
+      "mean_ckpt_interval=" ^ named_floats r.mean_ckpt_interval;
+      Printf.sprintf "specs_total=%d" r.specs_total;
+      Printf.sprintf "bb_absorbed=%d" r.bb_absorbed;
+      Printf.sprintf "bb_spilled=%d" r.bb_spilled;
+      "mean_ckpt_wait=" ^ named_floats r.mean_ckpt_wait;
+      "utilization=" ^ f r.utilization;
+      "io_busy_fraction=" ^ f r.io_busy_fraction;
+      "restarts_by_class=" ^ named_ints r.restarts_by_class;
+      "lost_work_by_class=" ^ named_floats r.lost_work_by_class;
+    ]
+
+let all_runs () =
+  let blocks =
+    List.concat_map
+      (fun strategy ->
+        List.map
+          (fun seed ->
+            result_block ~strategy ~seed (Simulator.run (config ~strategy ~seed)))
+          seeds)
+      Strategy.paper_seven
+  in
+  String.concat "\n\n" blocks ^ "\n"

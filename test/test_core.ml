@@ -351,7 +351,39 @@ let test_strategy_roundtrip () =
       match Strategy.of_string (Strategy.name s) with
       | Ok s' -> Alcotest.(check bool) (Strategy.name s ^ " roundtrips") true (s = s')
       | Error e -> Alcotest.fail e)
-    (Strategy.Baseline :: Strategy.paper_seven)
+    (Strategy.Baseline :: Strategy.Greedy_exposure :: Strategy.paper_seven)
+
+(* Every constructible strategy — including Fixed periods with whole
+   second/minute/hour values, which [name] renders with unit suffixes —
+   must survive name → of_string. Whole values keep %g exact, so the
+   property is equality, not approximation. *)
+let strategy_gen =
+  QCheck.Gen.(
+    let rule =
+      oneof
+        [
+          return Strategy.Daly;
+          return Strategy.Optimal;
+          return (Strategy.Fixed Strategy.default_fixed_period_s);
+          map (fun h -> Strategy.Fixed (float_of_int h *. 3600.0)) (int_range 1 48);
+          map (fun m -> Strategy.Fixed (float_of_int m *. 60.0)) (int_range 1 299);
+          map (fun s -> Strategy.Fixed (float_of_int s)) (int_range 1 3599);
+        ]
+    in
+    oneof
+      [
+        map (fun r -> Strategy.Oblivious r) rule;
+        map (fun r -> Strategy.Ordered r) rule;
+        map (fun r -> Strategy.Ordered_nb r) rule;
+        return Strategy.Least_waste;
+        return Strategy.Greedy_exposure;
+        return Strategy.Baseline;
+      ])
+
+let test_strategy_roundtrip_prop =
+  QCheck.Test.make ~name:"of_string (name s) = Ok s" ~count:500
+    (QCheck.make ~print:Strategy.name strategy_gen)
+    (fun s -> Strategy.of_string (Strategy.name s) = Ok s)
 
 let test_optimal_rule_roundtrip () =
   List.iter
@@ -366,6 +398,10 @@ let test_optimal_rule_roundtrip () =
 
 let test_strategy_parse_variants () =
   Alcotest.(check bool) "lw alias" true (Strategy.of_string "lw" = Ok Strategy.Least_waste);
+  Alcotest.(check bool) "ge alias" true
+    (Strategy.of_string "ge" = Ok Strategy.Greedy_exposure);
+  Alcotest.(check bool) "greedy_exposure underscore" true
+    (Strategy.of_string "greedy_exposure" = Ok Strategy.Greedy_exposure);
   Alcotest.(check bool) "case-insensitive" true
     (Strategy.of_string "ORDERED-NB-DALY" = Ok (Strategy.Ordered_nb Strategy.Daly));
   Alcotest.(check bool) "custom fixed period" true
@@ -379,7 +415,11 @@ let test_strategy_flags () =
   Alcotest.(check bool) "least-waste non-blocking" false (Strategy.is_blocking Strategy.Least_waste);
   Alcotest.(check bool) "oblivious no token" false (Strategy.uses_token (Strategy.Oblivious Strategy.Daly));
   Alcotest.(check bool) "ordered token" true (Strategy.uses_token (Strategy.Ordered Strategy.Daly));
-  Alcotest.(check bool) "lw token" true (Strategy.uses_token Strategy.Least_waste)
+  Alcotest.(check bool) "lw token" true (Strategy.uses_token Strategy.Least_waste);
+  Alcotest.(check bool) "greedy-exposure non-blocking" false
+    (Strategy.is_blocking Strategy.Greedy_exposure);
+  Alcotest.(check bool) "greedy-exposure token" true
+    (Strategy.uses_token Strategy.Greedy_exposure)
 
 let test_fixed_name_with_period () =
   Alcotest.(check string) "non-default period spelled out" "Ordered-Fixed(30m)"
@@ -439,5 +479,6 @@ let () =
           Alcotest.test_case "parse variants" `Quick test_strategy_parse_variants;
           Alcotest.test_case "blocking/token flags" `Quick test_strategy_flags;
           Alcotest.test_case "fixed period naming" `Quick test_fixed_name_with_period;
-        ] );
+        ]
+        @ qsuite [ test_strategy_roundtrip_prop ] );
     ]
