@@ -315,7 +315,45 @@ let micro_tests () =
     arbiter_lw 128;
   ]
 
-let run_micro () =
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Cold vs fully-cached execution of the same 64-record campaign: the
+   second number is the fixed cost of a resume (key derivation + record
+   loads), which should sit orders of magnitude under the first. *)
+let run_campaign_resume pool e2e =
+  let platform =
+    Platform.make ~name:"tiny" ~nodes:64 ~mem_per_node_gb:1.0 ~bandwidth_gbs:1.0
+      ~node_mtbf_s:(Cocheck_util.Units.years 0.1)
+  in
+  let tiny_class =
+    Cocheck_model.App_class.make ~name:"toy" ~workload_pct:100.0
+      ~walltime_s:(Cocheck_util.Units.hours 2.0) ~nodes:16 ~input_pct:10.0
+      ~output_pct:10.0 ~ckpt_pct:50.0 ()
+  in
+  let spec =
+    E.Spec.make ~name:"bench-campaign" ~platform ~classes:[ tiny_class ]
+      ~strategies:[ Strategy.Least_waste; Strategy.Ordered_nb Strategy.Daly ]
+      ~axis:
+        (E.Spec.Bandwidth_gbs (List.init 16 (fun i -> 1.0 +. (0.25 *. float_of_int i))))
+      ~reps:2 ~seed:!seed ~days:0.5 ()
+  in
+  let store = Filename.temp_file "cocheck-bench-store" "" in
+  Sys.remove store;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists store then rm_rf store)
+    (fun () ->
+      e2e "campaign-resume-cold-64" (fun () ->
+          ignore (E.Runner.run ~pool ~store spec));
+      e2e "campaign-resume-warm-64" (fun () ->
+          let o = E.Runner.run ~pool ~store spec in
+          assert (o.E.Runner.simulated = 0 && o.E.Runner.baselines = 0)))
+
+let run_micro pool =
   section "Microbenchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
@@ -353,7 +391,8 @@ let run_micro () =
   let platform = Platform.cielo ~bandwidth_gbs:40.0 () in
   e2e "simulate-60day-least-waste" (fun () ->
       let cfg = Config.make ~platform ~strategy:Strategy.Least_waste ~seed:7 ~days:60.0 () in
-      ignore (Simulator.run cfg))
+      ignore (Simulator.run cfg));
+  run_campaign_resume pool e2e
 
 (* ------------------------------------------------------------------ *)
 
@@ -403,7 +442,7 @@ let () =
       if has "fig2" then run_fig2 pool;
       if has "fig3" then run_fig3 pool;
       if has "ablations" then run_ablations pool;
-      if has "micro" then timed "micro" run_micro);
+      if has "micro" then timed "micro" (fun () -> run_micro pool));
   (match Cocheck_obs.Timer.phases timer with
   | [] -> ()
   | _ ->

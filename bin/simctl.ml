@@ -576,13 +576,153 @@ let observe_cmd =
           $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t
           $ sample_dt_t $ trace_out_t $ series_out_t $ manifest_out_t)
 
+(* ------------------------------------------------------------------ *)
+(* campaign                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let store_t =
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Results store: one digest-keyed JSON record per (cell, strategy, \
+               replication). A re-run loads cached records instead of re-simulating, \
+               so an interrupted campaign resumes where it stopped.")
+
+let spec_file_t =
+  Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE"
+         ~doc:"Load the campaign spec from a JSON file (written by --save-spec or by \
+               hand); the platform/axis/strategy flags are then ignored.")
+
+let load_spec path =
+  match E.Spec.load ~path with
+  | Ok spec -> spec
+  | Error e ->
+      Format.eprintf "error: cannot load spec %s: %s@." path e;
+      exit 1
+
+let campaign_counts spec =
+  let cells = List.length (E.Spec.cells spec) in
+  let strategies = List.length spec.E.Spec.strategies in
+  (cells, strategies, spec.E.Spec.reps)
+
+let campaign_run_cmd =
+  let name_t =
+    Arg.(value & opt string "campaign" & info [ "name" ] ~docv:"NAME"
+           ~doc:"Campaign name (figure id / spec label).")
+  in
+  let axis_t =
+    Arg.(value
+         & opt (enum [ ("none", `None); ("mtbf", `Mtbf); ("bandwidth", `Bandwidth) ]) `None
+         & info [ "axis" ] ~docv:"AXIS"
+             ~doc:"Swept parameter: none (default, a single cell), mtbf, or bandwidth.")
+  in
+  let values_t =
+    Arg.(value & opt (list ~sep:',' float) [] & info [ "values" ] ~docv:"V1,V2,..."
+           ~doc:"Axis values (years for --axis mtbf, GB/s for --axis bandwidth).")
+  in
+  let failure_dist_opt_t =
+    Arg.(value & opt (some failure_dist_conv) None & info [ "failure-dist" ] ~docv:"DIST"
+           ~doc:"Failure inter-arrival law: exponential, weibull:<shape>, \
+                 lognormal:<sigma>.")
+  in
+  let alpha_opt_t =
+    Arg.(value & opt (some float) None & info [ "alpha" ] ~docv:"ALPHA"
+           ~doc:"Adversarial interference factor.")
+  in
+  let save_spec_t =
+    Arg.(value & opt (some string) None & info [ "save-spec" ] ~docv:"FILE"
+           ~doc:"Write the resolved campaign spec as JSON to $(docv) — the file \
+                 round-trips exactly and can seed later runs via --spec.")
+  in
+  let action spec_file name axis values bandwidth mtbf_years prospective strategies reps
+      seed days failure_dist alpha bb multilevel store save_spec out domains =
+    let spec =
+      match spec_file with
+      | Some path -> load_spec path
+      | None -> (
+          let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+          let axis =
+            match axis with
+            | `None -> E.Spec.No_sweep
+            | `Mtbf -> E.Spec.Mtbf_years values
+            | `Bandwidth -> E.Spec.Bandwidth_gbs values
+          in
+          let strategies = Option.value strategies ~default:Strategy.paper_seven in
+          try
+            E.Spec.make ~name ~platform ~strategies ~axis ~reps ~seed ~days ?failure_dist
+              ?interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
+          with Invalid_argument m ->
+            Format.eprintf "error: invalid campaign: %s@." m;
+            exit 1)
+    in
+    Option.iter
+      (fun path ->
+        E.Spec.save ~path spec;
+        Format.printf "wrote %s@." path)
+      save_spec;
+    with_pool domains (fun pool ->
+        let o = E.Runner.run ~pool ?store spec in
+        let cells, strategies, reps = campaign_counts spec in
+        Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
+          spec.E.Spec.name (E.Spec.digest spec) cells strategies reps;
+        Format.printf "records: total=%d cached=%d simulated=%d baselines=%d@."
+          (cells * strategies * reps)
+          o.E.Runner.loaded o.E.Runner.simulated o.E.Runner.baselines;
+        match spec.E.Spec.axis with
+        | E.Spec.No_sweep ->
+            List.iter
+              (fun (r : E.Runner.cell_result) ->
+                Format.printf "%-24s mean waste %.4f@."
+                  (Strategy.name r.E.Runner.strategy)
+                  r.E.Runner.stats.Cocheck_util.Stats.mean)
+              o.E.Runner.results
+        | _ -> finish_figure out (E.Runner.to_figure ~id:spec.E.Spec.name o))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a declarative campaign (from --spec or from flags), resuming from \
+             the results store when one is given.")
+    Term.(const action $ spec_file_t $ name_t $ axis_t $ values_t $ bandwidth_t
+          $ mtbf_years_t $ prospective_t $ strategies_t $ reps_t 100 $ seed_t $ days_t
+          $ failure_dist_opt_t $ alpha_opt_t $ bb_t $ multilevel_t $ store_t
+          $ save_spec_t $ out_t $ domains_t)
+
+let campaign_status_cmd =
+  let spec_req_t =
+    Arg.(required & opt (some string) None & info [ "spec" ] ~docv:"FILE"
+           ~doc:"Campaign spec JSON file.")
+  in
+  let store_req_t =
+    Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Results store directory to inspect.")
+  in
+  let action spec_file store =
+    let spec = load_spec spec_file in
+    let p = E.Runner.status ~store spec in
+    let cells, strategies, reps = campaign_counts spec in
+    Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
+      spec.E.Spec.name (E.Spec.digest spec) cells strategies reps;
+    Format.printf "records: total=%d cached=%d missing=%d@." p.E.Runner.total
+      p.E.Runner.cached p.E.Runner.missing
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Report how much of a campaign the results store already covers, without \
+             simulating anything.")
+    Term.(const action $ spec_req_t $ store_req_t)
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Declarative experiment campaigns: typed JSON specs, digest-keyed result \
+             caching, resumable execution.")
+    [ campaign_run_cmd; campaign_status_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
        ~doc:"Cooperative checkpointing for shared HPC platforms — simulator and experiments.")
     [
-      run_cmd; observe_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd; bound_cmd;
-      trace_cmd; ablation_cmd; check_cmd; timeline_cmd; report_cmd;
+      run_cmd; observe_cmd; campaign_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd;
+      bound_cmd; trace_cmd; ablation_cmd; check_cmd; timeline_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main)

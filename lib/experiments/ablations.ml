@@ -40,32 +40,35 @@ let default_strategies =
 
 let strategy_columns strategies = List.map Strategy.name strategies
 
+(* One unswept campaign: mean waste per strategy as (column, value) pairs
+   in strategy order — the declarative core every Monte Carlo study maps
+   its rows through. *)
+let mc ~pool ~platform ~strategies ~reps ~seed ~days ?failure_dist
+    ?interference_alpha ?burst_buffer ?multilevel () =
+  let spec =
+    Spec.make ~name:"ablation" ~platform ~strategies ~reps ~seed ~days ?failure_dist
+      ?interference_alpha ?burst_buffer ?multilevel ()
+  in
+  List.map
+    (fun (r : Runner.cell_result) ->
+      (Strategy.name r.Runner.strategy, r.Runner.stats.Stats.mean))
+    (Runner.run ~pool spec).Runner.results
+
 let failure_distribution ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
     ?(strategies = default_strategies) () =
   let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:2.0 () in
-  let laws =
-    [
-      Failure_trace.Exponential;
-      Failure_trace.Weibull { shape = 0.7 };
-      Failure_trace.Weibull { shape = 1.5 };
-    ]
-  in
   let rows =
     List.map
       (fun law ->
-        let ms =
-          Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days
-            ~failure_dist:law ()
-        in
         {
           label = Failure_trace.distribution_name law;
-          values =
-            List.map
-              (fun m ->
-                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
-              ms;
+          values = mc ~pool ~platform ~strategies ~reps ~seed ~days ~failure_dist:law ();
         })
-      laws
+      [
+        Failure_trace.Exponential;
+        Failure_trace.Weibull { shape = 0.7 };
+        Failure_trace.Weibull { shape = 1.5 };
+      ]
   in
   build_study
     ~title:
@@ -79,17 +82,10 @@ let interference_model ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
   let rows =
     List.map
       (fun alpha ->
-        let ms =
-          Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days
-            ~interference_alpha:alpha ()
-        in
         {
           label = Printf.sprintf "alpha=%g" alpha;
           values =
-            List.map
-              (fun m ->
-                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
-              ms;
+            mc ~pool ~platform ~strategies ~reps ~seed ~days ~interference_alpha:alpha ();
         })
       alphas
   in
@@ -112,18 +108,11 @@ let burst_buffer ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
           if cap <= 0.0 then None
           else Some { Burst_buffer.capacity_gb = cap; bandwidth_gbs = bb_bandwidth_gbs }
         in
-        let ms =
-          Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days ?burst_buffer ()
-        in
         {
           label =
             (if cap <= 0.0 then "no buffer"
              else Format.asprintf "%a buffer" Units.pp_bytes cap);
-          values =
-            List.map
-              (fun m ->
-                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
-              ms;
+          values = mc ~pool ~platform ~strategies ~reps ~seed ~days ?burst_buffer ();
         })
       capacities_gb
   in
@@ -181,7 +170,6 @@ let optimal_periods ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
     List.map
       (fun b ->
         let platform = Platform.cielo ~bandwidth_gbs:b ~node_mtbf_years:2.0 () in
-        let ms = Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days () in
         let counts =
           Cocheck_core.Waste.steady_state_counts ~classes:Apex.lanl_workload ~platform
         in
@@ -192,10 +180,7 @@ let optimal_periods ~pool ?(reps = 10) ?(seed = 42) ?(days = 20.0)
         {
           label = Printf.sprintf "%g GB/s" b;
           values =
-            List.map
-              (fun m ->
-                (Strategy.name m.Montecarlo.strategy, m.Montecarlo.stats.Stats.mean))
-              ms
+            mc ~pool ~platform ~strategies ~reps ~seed ~days ()
             @ [ ("Theoretical Model", bound) ];
         })
       bandwidths_gbs
@@ -262,31 +247,37 @@ let two_level ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
 let fixed_period ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
     ?(periods_s = [ 1800.0; 3600.0; 7200.0; 14400.0 ]) () =
   let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:5.0 () in
-  let daly_reference =
-    Montecarlo.measure ~pool ~platform
-      ~strategies:[ Strategy.Oblivious Strategy.Daly; Strategy.Ordered_nb Strategy.Daly ]
-      ~reps ~seed ~days ()
-  in
-  let ref_value strategy =
-    (List.find (fun m -> m.Montecarlo.strategy = strategy) daly_reference).Montecarlo.stats
-      .Stats.mean
+  let obl_daly_ref, onb_daly_ref =
+    match
+      mc ~pool ~platform
+        ~strategies:[ Strategy.Oblivious Strategy.Daly; Strategy.Ordered_nb Strategy.Daly ]
+        ~reps ~seed ~days ()
+    with
+    | [ (_, obl); (_, onb) ] -> (obl, onb)
+    | _ -> assert false
   in
   let rows =
     List.map
       (fun p ->
-        let strategies =
-          [ Strategy.Oblivious (Strategy.Fixed p); Strategy.Ordered_nb (Strategy.Fixed p) ]
+        let obl_fixed, onb_fixed =
+          match
+            mc ~pool ~platform
+              ~strategies:
+                [ Strategy.Oblivious (Strategy.Fixed p);
+                  Strategy.Ordered_nb (Strategy.Fixed p) ]
+              ~reps ~seed ~days ()
+          with
+          | [ (_, obl); (_, onb) ] -> (obl, onb)
+          | _ -> assert false
         in
-        let ms = Montecarlo.measure ~pool ~platform ~strategies ~reps ~seed ~days () in
-        let value i = (List.nth ms i).Montecarlo.stats.Stats.mean in
         {
           label = Format.asprintf "%a" Units.pp_duration p;
           values =
             [
-              ("Oblivious-Fixed", value 0);
-              ("Ordered-NB-Fixed", value 1);
-              ("Oblivious-Daly (ref)", ref_value (Strategy.Oblivious Strategy.Daly));
-              ("Ordered-NB-Daly (ref)", ref_value (Strategy.Ordered_nb Strategy.Daly));
+              ("Oblivious-Fixed", obl_fixed);
+              ("Ordered-NB-Fixed", onb_fixed);
+              ("Oblivious-Daly (ref)", obl_daly_ref);
+              ("Ordered-NB-Daly (ref)", onb_daly_ref);
             ];
         })
       periods_s

@@ -16,5 +16,7 @@ val run :
   unit ->
   Figures.t
 (** Defaults: the paper's bandwidths, 2-year node MTBF, 100 replications,
-    seed 42, 60-day segment. [manifest_dir] writes one run manifest per
-    (sweep point, replication, strategy), see {!Sweep.waste_vs}. *)
+    seed 42, 60-day segment. Builds a single {!Spec.t} over the bandwidth
+    axis and delegates to {!Runner.run}; [manifest_dir] is a {!Runner}
+    results store, so interrupted figure campaigns resume and warm re-runs
+    simulate nothing. *)

@@ -6,19 +6,13 @@ let default_mtbf_years = [ 2.0; 3.0; 5.0; 10.0; 20.0; 35.0; 50.0 ]
 let run ~pool ?(mtbf_years = default_mtbf_years) ?(bandwidth_gbs = 40.0)
     ?(strategies = Strategy.paper_seven) ?(reps = 100) ?(seed = 42) ?(days = 60.0)
     ?manifest_dir () =
-  let points =
-    List.map
-      (fun y -> (y, Platform.cielo ~bandwidth_gbs ~node_mtbf_years:y ()))
-      mtbf_years
+  let spec =
+    Spec.make ~name:"fig2"
+      ~platform:(Platform.cielo ~bandwidth_gbs ())
+      ~strategies ~axis:(Spec.Mtbf_years mtbf_years) ~reps ~seed ~days ()
   in
-  {
-    Figures.id = "fig2";
-    title =
-      Printf.sprintf
-        "Waste ratio vs node MTBF (Cielo, %g GB/s, %d reps, %gd segment)" bandwidth_gbs
-        reps days;
-    x_label = "Node MTBF (years)";
-    y_label = "Waste Ratio";
-    log_x = true;
-    series = Sweep.waste_vs ~pool ~points ~strategies ~reps ~seed ~days ?manifest_dir ();
-  }
+  Runner.to_figure ~id:"fig2"
+    ~title:
+      (Printf.sprintf "Waste ratio vs node MTBF (Cielo, %g GB/s, %d reps, %gd segment)"
+         bandwidth_gbs reps days)
+    (Runner.run ~pool ?store:manifest_dir spec)

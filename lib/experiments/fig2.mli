@@ -18,6 +18,7 @@ val run :
   Figures.t
 (** [strategies] overrides the swept set (default: the paper's seven) — the
     hook for comparing an added arbitration policy such as
-    [Greedy_exposure] against the paper's curves. [manifest_dir] writes one
-    run manifest per (sweep point, replication, strategy), see
-    {!Sweep.waste_vs}. *)
+    [Greedy_exposure] against the paper's curves. Builds a single {!Spec.t}
+    over the MTBF axis and delegates to {!Runner.run}; [manifest_dir] is a
+    {!Runner} results store, so interrupted figure campaigns resume and
+    warm re-runs simulate nothing. *)

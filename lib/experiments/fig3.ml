@@ -45,17 +45,19 @@ let min_bandwidth_theoretical ?classes ~node_mtbf_years ~target_efficiency () =
   log_bisect ~f:(fun beta -> waste_at beta -. target_waste) ~lo0:10.0 ~hi0:100.0 ~iters:40
 
 let min_bandwidth ~pool ~strategy ~node_mtbf_years ~target_efficiency ~reps ~seed ~days
-    ?(iters = 9) () =
+    ?(iters = 9) ?manifest_dir () =
   let classes = prospective_classes () in
   let target_waste = 1.0 -. target_efficiency in
   let waste_at beta =
     let platform = Platform.prospective ~bandwidth_gbs:beta ~node_mtbf_years () in
-    Montecarlo.mean_waste ~pool ~platform ~classes ~strategy ~reps ~seed ~days ()
+    Montecarlo.mean_waste ~pool ~platform ~classes ~strategy ~reps ~seed ~days
+      ?manifest_dir ()
   in
   log_bisect ~f:(fun beta -> waste_at beta -. target_waste) ~lo0:50.0 ~hi0:400.0 ~iters
 
 let run ~pool ?(mtbf_years = default_mtbf_years) ?(target_efficiency = 0.8) ?(reps = 5)
-    ?(seed = 42) ?(days = 20.0) ?(iters = 9) ?(strategies = Strategy.paper_seven) () =
+    ?(seed = 42) ?(days = 20.0) ?(iters = 9) ?(strategies = Strategy.paper_seven)
+    ?manifest_dir () =
   let strategy_series strategy =
     {
       Figures.label = Strategy.name strategy;
@@ -64,7 +66,7 @@ let run ~pool ?(mtbf_years = default_mtbf_years) ?(target_efficiency = 0.8) ?(re
           (fun y ->
             let b =
               min_bandwidth ~pool ~strategy ~node_mtbf_years:y ~target_efficiency ~reps
-                ~seed ~days ~iters ()
+                ~seed ~days ~iters ?manifest_dir ()
             in
             (* Synthesise a degenerate candlestick so the table shows the
                search result without a fake spread. *)

@@ -28,9 +28,12 @@ val min_bandwidth :
   seed:int ->
   days:float ->
   ?iters:int ->
+  ?manifest_dir:string ->
   unit ->
   float
-(** Simulated search probe for one strategy/MTBF point (GB/s). *)
+(** Simulated search probe for one strategy/MTBF point (GB/s). With
+    [manifest_dir], every Monte Carlo probe persists to (and reloads
+    from) the digest-keyed {!Runner} results store. *)
 
 val run :
   pool:Cocheck_parallel.Pool.t ->
@@ -41,8 +44,10 @@ val run :
   ?days:float ->
   ?iters:int ->
   ?strategies:Cocheck_core.Strategy.t list ->
+  ?manifest_dir:string ->
   unit ->
   Figures.t
 (** Defaults: the paper's MTBF axis, 80 % target, 5 replications per probe,
     20-day segments, 9 bisection iterations. The y values are reported in
-    TB/s like the paper's axis. *)
+    TB/s like the paper's axis. [manifest_dir] is threaded to every
+    bisection probe, so an interrupted search resumes from cache. *)

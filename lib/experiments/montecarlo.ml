@@ -1,8 +1,5 @@
 open Cocheck_util
-module Pool = Cocheck_parallel.Pool
 module Strategy = Cocheck_core.Strategy
-module Config = Cocheck_sim.Config
-module Simulator = Cocheck_sim.Simulator
 
 type measurement = {
   strategy : Strategy.t;
@@ -10,81 +7,26 @@ type measurement = {
   stats : Stats.candlestick;
 }
 
-(* A large odd multiplier spreads replication seeds far apart in the
-   SplitMix expansion space. *)
-let rep_seed ~seed ~rep = seed + (1_000_003 * rep)
-
-let slug name =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | '0' .. '9' -> c
-      | 'A' .. 'Z' -> Char.lowercase_ascii c
-      | _ -> '-')
-    name
-
-let rec ensure_dir dir =
-  if not (Sys.file_exists dir) then begin
-    ensure_dir (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
-
-let write_manifest ~dir ~rep ~cfg ~result ~ratio =
-  let path =
-    Filename.concat dir
-      (Printf.sprintf "rep%03d-%s.json" rep
-         (slug (Strategy.name cfg.Config.strategy)))
-  in
-  Cocheck_obs.Manifest.write ~path
-    (Cocheck_obs.Manifest.make ~cfg ~result
-       ~extra:
-         [
-           ("rep", Cocheck_obs.Json.Int rep);
-           ("waste_ratio", Cocheck_obs.Json.Float ratio);
-         ]
-       ())
-
-let one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
-    ~interference_alpha ~burst_buffer ~multilevel ~manifest_dir rep =
-  let cfg strategy =
-    Config.make ~platform ?classes ~strategy ~seed:(rep_seed ~seed ~rep) ~days
-      ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
-  in
-  let baseline_cfg = cfg Strategy.Baseline in
-  let specs = Simulator.generate_specs baseline_cfg in
-  let baseline = Simulator.run ~specs baseline_cfg in
-  Array.map
-    (fun strategy ->
-      let r = Simulator.run ~specs (cfg strategy) in
-      let ratio = Simulator.waste_ratio ~strategy:r ~baseline in
-      Option.iter
-        (fun dir -> write_manifest ~dir ~rep ~cfg:(cfg strategy) ~result:r ~ratio)
-        manifest_dir;
-      ratio)
-    (Array.of_list strategies)
+let rep_seed = Spec.rep_seed
 
 let measure ~pool ~platform ?classes ~strategies ~reps ~seed ?(days = 60.0)
     ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ?manifest_dir () =
   if reps <= 0 then invalid_arg "Montecarlo.measure: reps must be positive";
-  Option.iter ensure_dir manifest_dir;
-  (* rows is reps x strategies; the per-strategy columns come out with an
-     O(reps) array stride each, not a List.nth scan. *)
-  let rows =
-    Pool.init_array pool reps
-      (one_rep ~platform ~classes ~strategies ~days ~seed ~failure_dist
-         ~interference_alpha ~burst_buffer ~multilevel ~manifest_dir)
+  let spec =
+    Spec.make ~name:"montecarlo" ~platform ?classes ~strategies ~reps ~seed ~days
+      ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
   in
-  List.mapi
-    (fun i strategy ->
-      let ratios = Array.map (fun row -> row.(i)) rows in
-      { strategy; ratios; stats = Stats.candlestick ratios })
-    strategies
+  let outcome = Runner.run ~pool ?store:manifest_dir spec in
+  List.map
+    (fun (r : Runner.cell_result) ->
+      { strategy = r.Runner.strategy; ratios = r.ratios; stats = r.stats })
+    outcome.Runner.results
 
 let mean_waste ~pool ~platform ?classes ~strategy ~reps ~seed ?(days = 60.0)
-    ?failure_dist ?interference_alpha ?burst_buffer ?multilevel () =
+    ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ?manifest_dir () =
   match
     measure ~pool ~platform ?classes ~strategies:[ strategy ] ~reps ~seed ~days
-      ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
+      ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ?manifest_dir ()
   with
   | [ m ] -> m.stats.Stats.mean
   | _ -> assert false

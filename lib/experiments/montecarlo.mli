@@ -1,5 +1,11 @@
 (** Replicated simulation: the paper's Monte Carlo protocol.
 
+    This is now a compatibility shim over the campaign engine: [measure]
+    builds an unswept {!Spec.t} and delegates to {!Runner.run}, so callers
+    get the same results (same per-replication seeds, same aggregation
+    order) plus, through [manifest_dir], the runner's resumable results
+    store.
+
     Each replication draws fresh initial conditions (job list and failure
     trace) from [seed + replication]; all strategies within a replication
     share the same job list and are normalised by the same failure-free
@@ -30,11 +36,11 @@ val measure :
 (** Run [reps] replications of every strategy (plus the shared baselines)
     on the pool. [days] is the measurement-segment length (default 60, the
     paper's; experiments routinely shrink it to trade fidelity for time).
-    With [manifest_dir] (created if missing), every (replication, strategy)
-    data point also writes a {!Cocheck_obs.Manifest} JSON —
-    [rep<NNN>-<strategy>.json] — capturing the exact config, the result
-    summary and the waste ratio, so campaign points are individually
-    reproducible. *)
+    [manifest_dir] (created if missing) is a {!Runner} results store: every
+    completed (replication, strategy) data point persists one
+    digest-keyed JSON record capturing its exact coordinates and waste
+    ratio, cached points are loaded instead of re-simulated, and an
+    interrupted campaign resumes where it stopped. *)
 
 val mean_waste :
   pool:Cocheck_parallel.Pool.t ->
@@ -48,9 +54,13 @@ val mean_waste :
   ?interference_alpha:float ->
   ?burst_buffer:Cocheck_sim.Burst_buffer.spec ->
   ?multilevel:Cocheck_sim.Config.multilevel ->
+  ?manifest_dir:string ->
   unit ->
   float
-(** Mean waste ratio of a single strategy — the Figure 3 search probe. *)
+(** Mean waste ratio of a single strategy — the Figure 3 search probe.
+    [manifest_dir] threads through to the same results store as
+    {!measure}, so repeated probes (e.g. bisection re-runs) are cached. *)
 
 val rep_seed : seed:int -> rep:int -> int
-(** The derived per-replication seed (exposed for reproducibility tests). *)
+(** The derived per-replication seed (defined once, in {!Spec.rep_seed};
+    exposed here for reproducibility tests). *)

@@ -1,0 +1,235 @@
+open Cocheck_util
+module Pool = Cocheck_parallel.Pool
+module Strategy = Cocheck_core.Strategy
+module Waste = Cocheck_core.Waste
+module Lower_bound = Cocheck_core.Lower_bound
+module Platform = Cocheck_model.Platform
+module Apex = Cocheck_model.Apex
+module Simulator = Cocheck_sim.Simulator
+module Json = Cocheck_obs.Json
+module Manifest = Cocheck_obs.Manifest
+
+type cell_result = {
+  x : float option;
+  platform : Platform.t;
+  strategy : Strategy.t;
+  ratios : float array;
+  stats : Stats.candlestick;
+}
+
+type outcome = {
+  spec : Spec.t;
+  results : cell_result list;
+  simulated : int;
+  baselines : int;
+  loaded : int;
+}
+
+type progress = { total : int; cached : int; missing : int }
+
+(* ------------------------------------------------------------------ *)
+(* Results store                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let record_path ~store key = Filename.concat store (key ^ ".json")
+
+(* A record is self-describing (campaign name, point coordinates, exact
+   seed) but only the ratio is read back; the key in the filename is the
+   lookup. Bad or truncated records read as misses and are re-simulated. *)
+let load_record ~store key =
+  let path = record_path ~store key in
+  if not (Sys.file_exists path) then None
+  else
+    match Manifest.load ~path with
+    | Ok j -> Option.bind (Json.member "waste_ratio" j) Json.to_float_opt
+    | Error _ -> None
+
+let write_record ~store ~spec ~cell ~strategy ~rep ~key ratio =
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "cocheck.cell-result");
+        ("version", Json.Int 1);
+        ("key", Json.String key);
+        ("campaign", Json.String spec.Spec.name);
+        ("spec_digest", Json.String (Spec.digest spec));
+        ( "x",
+          match cell.Spec.x with None -> Json.Null | Some x -> Json.Float x );
+        ("strategy", Json.String (Strategy.name strategy));
+        ("rep", Json.Int rep);
+        ("seed", Json.Int (Spec.rep_seed ~seed:spec.Spec.seed ~rep));
+        ("waste_ratio", Json.Float ratio);
+      ]
+  in
+  (* Write-then-rename keeps the store free of partial records when a
+     campaign is interrupted; the key is unique to this writer, so the
+     temp path cannot race another task. *)
+  let path = record_path ~store key in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty json));
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ~pool ?store spec =
+  Spec.validate spec;
+  Option.iter ensure_dir store;
+  let cells = Array.of_list (Spec.cells spec) in
+  let strategies = Array.of_list spec.Spec.strategies in
+  let n_s = Array.length strategies in
+  let reps = spec.Spec.reps in
+  let simulated = Atomic.make 0 in
+  let baselines = Atomic.make 0 in
+  let loaded = Atomic.make 0 in
+  (* One task per (cell, replication): the baseline run and the job specs
+     are shared by every strategy of the replication, exactly as in the
+     paper's protocol. *)
+  let task idx =
+    let cell = cells.(idx / reps) and rep = idx mod reps in
+    let keys =
+      Array.map (fun strategy -> Spec.cell_key spec ~cell ~strategy ~rep) strategies
+    in
+    let cached =
+      match store with
+      | None -> Array.make n_s None
+      | Some store -> Array.map (load_record ~store) keys
+    in
+    let hits = Array.fold_left (fun n c -> if c = None then n else n + 1) 0 cached in
+    if hits > 0 then ignore (Atomic.fetch_and_add loaded hits);
+    if hits = n_s then Array.map Option.get cached
+    else begin
+      let cfg strategy = Spec.config spec ~cell ~strategy ~rep in
+      let baseline_cfg = cfg Strategy.Baseline in
+      let job_specs = Simulator.generate_specs baseline_cfg in
+      let baseline = Simulator.run ~specs:job_specs baseline_cfg in
+      Atomic.incr baselines;
+      Array.mapi
+        (fun i strategy ->
+          match cached.(i) with
+          | Some ratio -> ratio
+          | None ->
+              let r = Simulator.run ~specs:job_specs (cfg strategy) in
+              let ratio = Simulator.waste_ratio ~strategy:r ~baseline in
+              Atomic.incr simulated;
+              Option.iter
+                (fun store ->
+                  write_record ~store ~spec ~cell ~strategy ~rep ~key:keys.(i) ratio)
+                store;
+              ratio)
+        strategies
+    end
+  in
+  let rows = Pool.init_array pool (Array.length cells * reps) task in
+  let results =
+    List.concat_map
+      (fun ci ->
+        List.map
+          (fun si ->
+            let cell = cells.(ci) in
+            let ratios = Array.init reps (fun rep -> rows.((ci * reps) + rep).(si)) in
+            {
+              x = cell.Spec.x;
+              platform = cell.Spec.platform;
+              strategy = strategies.(si);
+              ratios;
+              stats = Stats.candlestick ratios;
+            })
+          (List.init n_s Fun.id))
+      (List.init (Array.length cells) Fun.id)
+  in
+  {
+    spec;
+    results;
+    simulated = Atomic.get simulated;
+    baselines = Atomic.get baselines;
+    loaded = Atomic.get loaded;
+  }
+
+let status ?store spec =
+  Spec.validate spec;
+  let cells = Spec.cells spec in
+  let total = List.length cells * List.length spec.Spec.strategies * spec.Spec.reps in
+  let cached =
+    match store with
+    | None -> 0
+    | Some store when not (Sys.file_exists store) -> 0
+    | Some store ->
+        List.fold_left
+          (fun acc cell ->
+            List.fold_left
+              (fun acc strategy ->
+                let hits = ref 0 in
+                for rep = 0 to spec.Spec.reps - 1 do
+                  let key = Spec.cell_key spec ~cell ~strategy ~rep in
+                  if Sys.file_exists (record_path ~store key) then incr hits
+                done;
+                acc + !hits)
+              acc spec.Spec.strategies)
+          0 cells
+  in
+  { total; cached; missing = total - cached }
+
+(* ------------------------------------------------------------------ *)
+(* Figure assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_series o =
+  let results = Array.of_list o.results in
+  let n_s = List.length o.spec.Spec.strategies in
+  let n_c = Array.length results / n_s in
+  List.mapi
+    (fun si strategy ->
+      {
+        Figures.label = Strategy.name strategy;
+        points =
+          List.init n_c (fun ci ->
+              let r = results.((ci * n_s) + si) in
+              Figures.sim_point ~x:(Option.value r.x ~default:0.0) r.stats);
+      })
+    o.spec.Spec.strategies
+
+let default_classes platform =
+  if platform.Platform.name = "Cielo" then Apex.lanl_workload
+  else Apex.scaled_workload ~target:platform
+
+let theoretical_waste ~platform ?classes () =
+  let classes = match classes with Some cs -> cs | None -> default_classes platform in
+  let counts = Waste.steady_state_counts ~classes ~platform in
+  (Lower_bound.solve_model ~classes:counts ~platform ()).Lower_bound.waste
+
+let theory_series spec =
+  {
+    Figures.label = "Theoretical Model";
+    points =
+      List.map
+        (fun (cell : Spec.cell) ->
+          Figures.analytic_point
+            ~x:(Option.value cell.Spec.x ~default:0.0)
+            (theoretical_waste ~platform:cell.Spec.platform ?classes:spec.Spec.classes ()))
+        (Spec.cells spec);
+  }
+
+let to_figure ?id ?title ?(y_label = "Waste Ratio") o =
+  {
+    Figures.id = Option.value id ~default:o.spec.Spec.name;
+    title =
+      Option.value title
+        ~default:
+          (Printf.sprintf "%s (%d reps, %gd segment)" o.spec.Spec.name o.spec.Spec.reps
+             o.spec.Spec.days);
+    x_label = Spec.axis_label o.spec;
+    y_label;
+    log_x = Spec.log_x o.spec;
+    series = strategy_series o @ [ theory_series o.spec ];
+  }

@@ -1,0 +1,72 @@
+(** The campaign engine: expands a {!Spec.t} into (cell, strategy,
+    replication) points, executes them over a worker pool, and — when given
+    a results store — persists every completed point incrementally and
+    loads cache hits instead of re-simulating.
+
+    The store is a flat directory of one small JSON record per
+    {!Spec.cell_key} digest. Records are written atomically (temp file +
+    rename), so a campaign killed mid-flight leaves only complete records
+    behind and a re-run resumes exactly where it stopped: cooperative
+    checkpointing for the checkpointing experiments. Because keys are
+    derived from the exact per-point configuration, a store is shared
+    across campaigns — growing [reps], extending the axis or adding
+    strategies only simulates the new points.
+
+    Determinism: replication [rep] of any cell always runs at
+    [Spec.rep_seed ~seed ~rep], and per-(cell, strategy) ratio arrays are
+    indexed by replication, so results — including float summation order in
+    the candlestick aggregation — are identical whatever the pool size,
+    scheduling, or cache-hit pattern. *)
+
+type cell_result = {
+  x : float option;  (** the swept value; [None] for unswept campaigns *)
+  platform : Cocheck_model.Platform.t;
+  strategy : Cocheck_core.Strategy.t;
+  ratios : float array;  (** one waste ratio per replication, in rep order *)
+  stats : Cocheck_util.Stats.candlestick;
+}
+
+type outcome = {
+  spec : Spec.t;
+  results : cell_result list;
+      (** cell-major, strategy-minor: the result of cell [c] and strategy
+          index [s] is element [c * num_strategies + s] *)
+  simulated : int;  (** strategy simulations executed by this run *)
+  baselines : int;  (** baseline (normalisation) simulations executed *)
+  loaded : int;  (** results loaded from the store instead of simulated *)
+}
+
+val run : pool:Cocheck_parallel.Pool.t -> ?store:string -> Spec.t -> outcome
+(** Execute the campaign. Without [store], everything is simulated in
+    memory. With [store] (created if missing), each completed
+    (cell, strategy, replication) immediately persists one record, cached
+    records are loaded instead of re-simulated, and a replication whose
+    strategies are all cached skips its baseline run too — a fully warm
+    store performs {e zero} simulator calls. *)
+
+type progress = { total : int; cached : int; missing : int }
+
+val status : ?store:string -> Spec.t -> progress
+(** How much of the campaign the store already covers, without running
+    anything. *)
+
+val strategy_series : outcome -> Figures.series list
+(** One {!Figures.series} per strategy (spec order), points over the cells
+    in axis order. Pairing is index-based — no name matching. Unswept
+    cells plot at [x = 0]. *)
+
+val theoretical_waste :
+  platform:Cocheck_model.Platform.t ->
+  ?classes:Cocheck_model.App_class.t list ->
+  unit ->
+  float
+(** The Theorem 1 bound for one cell's platform under its steady-state
+    APEX (or given) class mix — the analytic companion of every simulated
+    point. *)
+
+val theory_series : Spec.t -> Figures.series
+(** The "Theoretical Model" series over the spec's cells. *)
+
+val to_figure : ?id:string -> ?title:string -> ?y_label:string -> outcome -> Figures.t
+(** Generic figure assembly for swept campaigns: strategy series plus the
+    theoretical-model series, labelled from the spec's axis. *)

@@ -1,50 +1,37 @@
 module Strategy = Cocheck_core.Strategy
-module Waste = Cocheck_core.Waste
-module Lower_bound = Cocheck_core.Lower_bound
-module Platform = Cocheck_model.Platform
-module Apex = Cocheck_model.Apex
 
-let classes_for platform = function
-  | Some cs -> cs
-  | None ->
-      if platform.Platform.name = "Cielo" then Apex.lanl_workload
-      else Apex.scaled_workload ~target:platform
-
-let theoretical_waste ~platform ?classes () =
-  let classes = classes_for platform classes in
-  let counts = Waste.steady_state_counts ~classes ~platform in
-  (Lower_bound.solve_model ~classes:counts ~platform ()).Lower_bound.waste
+let theoretical_waste = Runner.theoretical_waste
 
 let waste_vs ~pool ~points ?classes ?(strategies = Strategy.paper_seven) ~reps ~seed
     ?(days = 60.0) ?manifest_dir () =
-  let measured =
+  (* Arbitrary (x, platform) points cannot be expressed as one spec axis,
+     so each point is its own unswept campaign; all share the digest-keyed
+     results store, which replaces the old per-x manifest subdirectories. *)
+  let outcomes =
     List.map
       (fun (x, platform) ->
-        let manifest_dir =
-          Option.map
-            (fun dir -> Filename.concat dir (Printf.sprintf "x%g" x))
-            manifest_dir
+        let spec =
+          Spec.make ~name:(Printf.sprintf "sweep-x%g" x) ~platform ?classes ~strategies
+            ~reps ~seed ~days ()
         in
-        ( x,
-          Montecarlo.measure ~pool ~platform
-            ?classes:(Option.map (fun c -> c) classes)
-            ~strategies ~reps ~seed ~days ?manifest_dir () ))
+        (x, Array.of_list (Runner.run ~pool ?store:manifest_dir spec).Runner.results))
       points
   in
-  let strategy_series strategy =
-    {
-      Figures.label = Strategy.name strategy;
-      points =
-        List.map
-          (fun (x, ms) ->
-            let m =
-              List.find (fun m -> m.Montecarlo.strategy = strategy) ms
-            in
-            Figures.sim_point ~x m.Montecarlo.stats)
-          measured;
-    }
+  (* Index-based pairing: results are in strategy order within each
+     outcome, so strategy i is element i — no per-point name search. *)
+  let strategy_series =
+    List.mapi
+      (fun i strategy ->
+        {
+          Figures.label = Strategy.name strategy;
+          points =
+            List.map
+              (fun (x, results) -> Figures.sim_point ~x results.(i).Runner.stats)
+              outcomes;
+        })
+      strategies
   in
-  let theoretical =
+  let theory =
     {
       Figures.label = "Theoretical Model";
       points =
@@ -54,4 +41,4 @@ let waste_vs ~pool ~points ?classes ?(strategies = Strategy.paper_seven) ~reps ~
           points;
     }
   in
-  List.map strategy_series strategies @ [ theoretical ]
+  strategy_series @ [ theory ]

@@ -1,6 +1,9 @@
-(** Shared machinery for the waste-ratio sweeps of Figures 1 and 2: for
-    each swept platform configuration, Monte Carlo the seven strategies and
-    evaluate the theoretical lower bound. *)
+(** Shared machinery for waste-ratio sweeps over arbitrary
+    [(x, platform)] point lists — a compatibility shim over the campaign
+    engine ({!Spec}/{!Runner}): for each swept platform configuration,
+    Monte Carlo the given strategies and evaluate the theoretical lower
+    bound. Figures 1 and 2 now build their axis as a single {!Spec.t}
+    directly; this entry point remains for irregular sweeps. *)
 
 val theoretical_waste :
   platform:Cocheck_model.Platform.t ->
@@ -9,7 +12,7 @@ val theoretical_waste :
   float
 (** The Theorem 1 bound for a platform under its steady-state APEX (or
     given) class mix, with the bandwidth available for CR reduced by the
-    regular-I/O demand. *)
+    regular-I/O demand. Alias of {!Runner.theoretical_waste}. *)
 
 val waste_vs :
   pool:Cocheck_parallel.Pool.t ->
@@ -24,5 +27,6 @@ val waste_vs :
   Figures.series list
 (** One series per strategy (defaulting to the paper's seven) plus the
     "Theoretical Model" series, over the [(x, platform)] sweep. With
-    [manifest_dir], per-replication run manifests land in one [x<value>]
-    subdirectory per sweep point (see {!Montecarlo.measure}). *)
+    [manifest_dir], every data point lands as one digest-keyed record in
+    a shared {!Runner} results store (flat, no per-[x] subdirectories),
+    and re-runs load cached points instead of re-simulating. *)

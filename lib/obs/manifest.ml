@@ -47,6 +47,22 @@ let failure_dist_to_json (d : Failure_trace.distribution) =
   | Failure_trace.Lognormal { sigma } ->
       Json.Obj [ ("law", Json.String "lognormal"); ("sigma", Json.Float sigma) ]
 
+let burst_buffer_to_json (bb : Burst_buffer.spec) =
+  Json.Obj
+    [
+      ("capacity_gb", Json.Float bb.Burst_buffer.capacity_gb);
+      ("bandwidth_gbs", Json.Float bb.bandwidth_gbs);
+    ]
+
+let multilevel_to_json (m : Config.multilevel) =
+  Json.Obj
+    [
+      ("local_period_s", Json.Float m.Config.local_period_s);
+      ("local_cost_s", Json.Float m.local_cost_s);
+      ("local_recovery_s", Json.Float m.local_recovery_s);
+      ("soft_fraction", Json.Float m.soft_fraction);
+    ]
+
 let config_to_json (cfg : Config.t) =
   let optional name = function None -> [] | Some j -> [ (name, j) ] in
   Json.Obj
@@ -64,26 +80,8 @@ let config_to_json (cfg : Config.t) =
        ("failure_dist", failure_dist_to_json cfg.failure_dist);
        ("interference_alpha", Json.Float cfg.interference_alpha);
      ]
-    @ optional "burst_buffer"
-        (Option.map
-           (fun (bb : Burst_buffer.spec) ->
-             Json.Obj
-               [
-                 ("capacity_gb", Json.Float bb.Burst_buffer.capacity_gb);
-                 ("bandwidth_gbs", Json.Float bb.bandwidth_gbs);
-               ])
-           cfg.burst_buffer)
-    @ optional "multilevel"
-        (Option.map
-           (fun (m : Config.multilevel) ->
-             Json.Obj
-               [
-                 ("local_period_s", Json.Float m.Config.local_period_s);
-                 ("local_cost_s", Json.Float m.local_cost_s);
-                 ("local_recovery_s", Json.Float m.local_recovery_s);
-                 ("soft_fraction", Json.Float m.soft_fraction);
-               ])
-           cfg.multilevel))
+    @ optional "burst_buffer" (Option.map burst_buffer_to_json cfg.burst_buffer)
+    @ optional "multilevel" (Option.map multilevel_to_json cfg.multilevel))
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                             *)
@@ -157,6 +155,18 @@ let optional_member name conv j =
       let* v = conv sub in
       Ok (Some v)
 
+let burst_buffer_of_json bb =
+  let* capacity_gb = f_float "capacity_gb" bb in
+  let* bandwidth_gbs = f_float "bandwidth_gbs" bb in
+  Ok { Burst_buffer.capacity_gb; bandwidth_gbs }
+
+let multilevel_of_json m =
+  let* local_period_s = f_float "local_period_s" m in
+  let* local_cost_s = f_float "local_cost_s" m in
+  let* local_recovery_s = f_float "local_recovery_s" m in
+  let* soft_fraction = f_float "soft_fraction" m in
+  Ok { Config.local_period_s; local_cost_s; local_recovery_s; soft_fraction }
+
 let config_of_json j =
   let* platform = field "platform" (fun p -> Some p) j in
   let* platform = platform_of_json platform in
@@ -176,24 +186,8 @@ let config_of_json j =
   let* dist = field "failure_dist" (fun d -> Some d) j in
   let* failure_dist = failure_dist_of_json dist in
   let* interference_alpha = f_float "interference_alpha" j in
-  let* burst_buffer =
-    optional_member "burst_buffer"
-      (fun bb ->
-        let* capacity_gb = f_float "capacity_gb" bb in
-        let* bandwidth_gbs = f_float "bandwidth_gbs" bb in
-        Ok { Burst_buffer.capacity_gb; bandwidth_gbs })
-      j
-  in
-  let* multilevel =
-    optional_member "multilevel"
-      (fun m ->
-        let* local_period_s = f_float "local_period_s" m in
-        let* local_cost_s = f_float "local_cost_s" m in
-        let* local_recovery_s = f_float "local_recovery_s" m in
-        let* soft_fraction = f_float "soft_fraction" m in
-        Ok { Config.local_period_s; local_cost_s; local_recovery_s; soft_fraction })
-      j
-  in
+  let* burst_buffer = optional_member "burst_buffer" burst_buffer_of_json j in
+  let* multilevel = optional_member "multilevel" multilevel_of_json j in
   Ok
     {
       Config.platform;

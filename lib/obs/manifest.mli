@@ -16,6 +16,27 @@ val config_to_json : Cocheck_sim.Config.t -> Json.t
 val config_of_json : Json.t -> (Cocheck_sim.Config.t, string) result
 (** Exact inverse of {!config_to_json} (field-for-field, floats included). *)
 
+(** {2 Piecewise encoders}
+
+    The building blocks of [config_to_json], exposed so other declarative
+    formats (campaign specs, results-store records) share one JSON shape
+    per domain type and inherit the exact-round-trip guarantee. *)
+
+val platform_to_json : Cocheck_model.Platform.t -> Json.t
+val platform_of_json : Json.t -> (Cocheck_model.Platform.t, string) result
+val app_class_to_json : Cocheck_model.App_class.t -> Json.t
+val app_class_of_json : Json.t -> (Cocheck_model.App_class.t, string) result
+
+val failure_dist_to_json : Cocheck_sim.Failure_trace.distribution -> Json.t
+
+val failure_dist_of_json :
+  Json.t -> (Cocheck_sim.Failure_trace.distribution, string) result
+
+val burst_buffer_to_json : Cocheck_sim.Burst_buffer.spec -> Json.t
+val burst_buffer_of_json : Json.t -> (Cocheck_sim.Burst_buffer.spec, string) result
+val multilevel_to_json : Cocheck_sim.Config.multilevel -> Json.t
+val multilevel_of_json : Json.t -> (Cocheck_sim.Config.multilevel, string) result
+
 val result_to_json : Cocheck_sim.Simulator.result -> Json.t
 
 val make :

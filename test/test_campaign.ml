@@ -1,0 +1,402 @@
+(* Tests for the declarative campaign engine: exact spec JSON round-trips,
+   digest stability of the results-store keys, cache-aware resumable
+   execution, and bit-identity with the pre-engine Monte Carlo loop. *)
+
+module Pool = Cocheck_parallel.Pool
+module Platform = Cocheck_model.Platform
+module App_class = Cocheck_model.App_class
+module Strategy = Cocheck_core.Strategy
+module Config = Cocheck_sim.Config
+module Simulator = Cocheck_sim.Simulator
+module Failure_trace = Cocheck_sim.Failure_trace
+module Burst_buffer = Cocheck_sim.Burst_buffer
+module Units = Cocheck_util.Units
+module Json = Cocheck_obs.Json
+module E = Cocheck_experiments
+
+let checkf msg ?(eps = 1e-9) a b = Alcotest.(check (float eps)) msg a b
+
+let tiny_platform ?(bandwidth = 1.0) ?(mtbf_years = 0.1) () =
+  Platform.make ~name:"tiny" ~nodes:64 ~mem_per_node_gb:1.0 ~bandwidth_gbs:bandwidth
+    ~node_mtbf_s:(Units.years mtbf_years)
+
+let tiny_class =
+  App_class.make ~name:"toy" ~workload_pct:100.0 ~walltime_s:(Units.hours 2.0) ~nodes:16
+    ~input_pct:10.0 ~output_pct:10.0 ~ckpt_pct:50.0 ()
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_store f =
+  let dir = Filename.temp_file "cocheck-test-store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Spec JSON round-trip (property)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed periods draw arbitrary floats on purpose: the structural strategy
+   encoding must round-trip them exactly even where the display name's %g
+   would collapse them. *)
+let spec_gen =
+  QCheck.Gen.(
+    let rule =
+      oneof
+        [
+          return Strategy.Daly;
+          return Strategy.Optimal;
+          map (fun p -> Strategy.Fixed p) (float_range 30.0 100_000.0);
+        ]
+    in
+    let strategy =
+      oneof
+        [
+          map (fun r -> Strategy.Oblivious r) rule;
+          map (fun r -> Strategy.Ordered r) rule;
+          map (fun r -> Strategy.Ordered_nb r) rule;
+          return Strategy.Least_waste;
+          return Strategy.Greedy_exposure;
+        ]
+    in
+    let platform =
+      map
+        (fun ((nodes, mem), (bw, mtbf)) ->
+          Platform.make ~name:"qc" ~nodes ~mem_per_node_gb:mem ~bandwidth_gbs:bw
+            ~node_mtbf_s:mtbf)
+        (pair (pair (int_range 16 4096) (float_range 0.5 16.0))
+           (pair (float_range 0.5 500.0) (float_range 1e4 1e9)))
+    in
+    let app_class =
+      map
+        (fun ((wall, nodes), (io, ckpt)) ->
+          App_class.make ~name:"qc-class" ~workload_pct:100.0 ~walltime_s:wall ~nodes
+            ~input_pct:io ~output_pct:io ~ckpt_pct:ckpt ())
+        (pair (pair (float_range 600.0 1e5) (int_range 1 64))
+           (pair (float_range 0.0 30.0) (float_range 1.0 80.0)))
+    in
+    let axis =
+      oneof
+        [
+          return E.Spec.No_sweep;
+          map (fun vs -> E.Spec.Mtbf_years vs)
+            (list_size (int_range 1 4) (float_range 0.05 50.0));
+          map (fun vs -> E.Spec.Bandwidth_gbs vs)
+            (list_size (int_range 1 4) (float_range 0.5 500.0));
+        ]
+    in
+    let failure_dist =
+      oneof
+        [
+          return None;
+          return (Some Failure_trace.Exponential);
+          map (fun shape -> Some (Failure_trace.Weibull { shape })) (float_range 0.4 3.0);
+          map (fun sigma -> Some (Failure_trace.Lognormal { sigma })) (float_range 0.0 2.0);
+        ]
+    in
+    let burst_buffer =
+      opt
+        (map
+           (fun (capacity_gb, bandwidth_gbs) -> { Burst_buffer.capacity_gb; bandwidth_gbs })
+           (pair (float_range 10.0 1e6) (float_range 10.0 5000.0)))
+    in
+    let multilevel =
+      opt
+        (map
+           (fun ((local_period_s, local_cost_s), (local_recovery_s, soft_fraction)) ->
+             { Config.local_period_s; local_cost_s; local_recovery_s; soft_fraction })
+           (pair (pair (float_range 60.0 3600.0) (float_range 1.0 60.0))
+              (pair (float_range 1.0 120.0) (float_range 0.0 1.0))))
+    in
+    map
+      (fun (((platform, classes), (strategies, axis)),
+            (((reps, seed), days), ((failure_dist, alpha), (burst_buffer, multilevel)))) ->
+        {
+          E.Spec.name = "qc-campaign";
+          platform;
+          classes;
+          strategies;
+          axis;
+          reps;
+          seed;
+          days;
+          failure_dist;
+          interference_alpha = alpha;
+          burst_buffer;
+          multilevel;
+        })
+      (pair
+         (pair
+            (pair platform (opt (list_size (int_range 1 2) app_class)))
+            (pair (list_size (int_range 1 3) strategy) axis))
+         (pair
+            (pair (pair (int_range 1 500) (int_range 0 1_000_000)) (float_range 0.1 100.0))
+            (pair
+               (pair failure_dist (opt (float_range 0.0 2.0)))
+               (pair burst_buffer multilevel)))))
+
+let arb_spec =
+  QCheck.make ~print:(fun s -> Json.to_string_pretty (E.Spec.to_json s)) spec_gen
+
+let test_spec_roundtrip_prop =
+  QCheck.Test.make ~name:"of_json (to_json s) = Ok s" ~count:200 arb_spec (fun s ->
+      E.Spec.of_json (E.Spec.to_json s) = Ok s)
+
+let test_spec_file_roundtrip_prop =
+  (* Through the actual printer and parser, not just the JSON tree. *)
+  QCheck.Test.make ~name:"load (save s) = Ok s" ~count:50 arb_spec (fun s ->
+      let path = Filename.temp_file "cocheck-test-spec" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          E.Spec.save ~path s;
+          E.Spec.load ~path = Ok s))
+
+let test_spec_name_strings_accepted () =
+  (* Hand-written specs may give strategies by paper name. *)
+  let spec =
+    E.Spec.make ~platform:(tiny_platform ())
+      ~strategies:[ Strategy.Least_waste; Strategy.Ordered_nb Strategy.Daly ]
+      ~reps:1 ()
+  in
+  let rewrite = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "strategies", _ ->
+                   ( "strategies",
+                     Json.List
+                       [ Json.String "least-waste"; Json.String "ordered-nb-daly" ] )
+               | f -> f)
+             fields)
+    | j -> j
+  in
+  match E.Spec.of_json (rewrite (E.Spec.to_json spec)) with
+  | Ok s -> Alcotest.(check bool) "same spec" true (s = spec)
+  | Error e -> Alcotest.fail e
+
+let test_spec_validate () =
+  let make ?(strategies = [ Strategy.Least_waste ]) ?axis ?(reps = 1) ?(days = 1.0) () =
+    E.Spec.make ~platform:(tiny_platform ()) ~strategies ?axis ~reps ~days ()
+  in
+  let rejects msg f = Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (f ())) in
+  rejects "Spec: empty strategy set" (fun () -> make ~strategies:[] ());
+  rejects "Spec: reps must be positive" (fun () -> make ~reps:0 ());
+  rejects "Spec: days must be positive" (fun () -> make ~days:0.0 ());
+  rejects "Spec: empty MTBF axis" (fun () -> make ~axis:(E.Spec.Mtbf_years []) ());
+  rejects "Spec: bandwidth values must be positive" (fun () ->
+      make ~axis:(E.Spec.Bandwidth_gbs [ 40.0; -1.0 ]) ())
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let digest_spec ?(name = "digest") ?(reps = 3) ?(seed = 5) ?(days = 1.0)
+    ?(platform = tiny_platform ()) () =
+  E.Spec.make ~name ~platform ~classes:[ tiny_class ]
+    ~strategies:[ Strategy.Least_waste; Strategy.Ordered Strategy.Daly ]
+    ~reps ~seed ~days ()
+
+let key_of spec ?(strategy = Strategy.Least_waste) ?(rep = 1) () =
+  E.Spec.cell_key spec ~cell:(List.hd (E.Spec.cells spec)) ~strategy ~rep
+
+let test_digest_deterministic () =
+  Alcotest.(check string) "same spec, same digest"
+    (E.Spec.digest (digest_spec ()))
+    (E.Spec.digest (digest_spec ()));
+  Alcotest.(check string) "same point, same key"
+    (key_of (digest_spec ()) ())
+    (key_of (digest_spec ()) ())
+
+let test_key_changes_with_result_fields () =
+  let base = key_of (digest_spec ()) () in
+  let differs what key = Alcotest.(check bool) what true (key <> base) in
+  differs "seed" (key_of (digest_spec ~seed:6 ()) ());
+  differs "days" (key_of (digest_spec ~days:2.0 ()) ());
+  differs "platform"
+    (key_of (digest_spec ~platform:(tiny_platform ~bandwidth:2.0 ()) ()) ());
+  differs "strategy" (key_of (digest_spec ()) ~strategy:(Strategy.Ordered Strategy.Daly) ());
+  differs "rep" (key_of (digest_spec ()) ~rep:2 ())
+
+let test_key_survives_neutral_edits () =
+  let base_spec = digest_spec () in
+  let base = key_of base_spec () in
+  (* Renaming the campaign or growing the replication count must keep
+     existing records valid — that is what makes the store resumable and
+     shareable — while the whole-spec digest does change. *)
+  let renamed = digest_spec ~name:"renamed" () in
+  let grown = digest_spec ~reps:10 () in
+  Alcotest.(check string) "rename keeps keys" base (key_of renamed ());
+  Alcotest.(check string) "more reps keeps keys" base (key_of grown ());
+  Alcotest.(check bool) "rename changes spec digest" true
+    (E.Spec.digest renamed <> E.Spec.digest base_spec);
+  Alcotest.(check bool) "more reps changes spec digest" true
+    (E.Spec.digest grown <> E.Spec.digest base_spec)
+
+(* ------------------------------------------------------------------ *)
+(* Runner: cache, resume, status                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_spec () =
+  E.Spec.make ~name:"cache" ~platform:(tiny_platform ()) ~classes:[ tiny_class ]
+    ~strategies:[ Strategy.Least_waste; Strategy.Ordered_nb Strategy.Daly ]
+    ~axis:(E.Spec.Bandwidth_gbs [ 1.0; 2.0 ]) ~reps:2 ~seed:3 ~days:0.5 ()
+
+let ratios o = List.map (fun (r : E.Runner.cell_result) -> r.E.Runner.ratios) o.E.Runner.results
+
+let check_same_ratios msg a b =
+  List.iter2 (fun ra rb -> Array.iteri (fun i r -> checkf msg ~eps:0.0 r rb.(i)) ra)
+    (ratios a) (ratios b)
+
+let test_cold_then_warm () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      with_temp_store (fun store ->
+          let spec = cache_spec () in
+          let in_memory = E.Runner.run ~pool spec in
+          let cold = E.Runner.run ~pool ~store spec in
+          Alcotest.(check int) "cold simulates everything" 8 cold.E.Runner.simulated;
+          Alcotest.(check int) "cold loads nothing" 0 cold.E.Runner.loaded;
+          Alcotest.(check int) "one baseline per (cell, rep)" 4 cold.E.Runner.baselines;
+          Alcotest.(check int) "8 records on disk" 8
+            (Array.length (Sys.readdir store));
+          let warm = E.Runner.run ~pool ~store spec in
+          Alcotest.(check int) "warm simulates nothing" 0 warm.E.Runner.simulated;
+          Alcotest.(check int) "warm runs no baselines" 0 warm.E.Runner.baselines;
+          Alcotest.(check int) "warm loads everything" 8 warm.E.Runner.loaded;
+          check_same_ratios "store-independent ratios" in_memory cold;
+          check_same_ratios "cache round-trips ratios bit-for-bit" cold warm;
+          (* The whole figure — candlesticks included — must be
+             bit-identical whether the points were simulated or loaded. *)
+          Alcotest.(check bool) "warm figure = cold figure, bit for bit" true
+            (E.Runner.to_figure warm = E.Runner.to_figure cold)))
+
+let test_interrupted_resume () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      with_temp_store (fun store ->
+          let spec = cache_spec () in
+          let cold = E.Runner.run ~pool ~store spec in
+          (* Deleting one record is equivalent to a campaign killed before
+             writing it; rename-based writes mean no other partial state. *)
+          Sys.remove (Filename.concat store (Sys.readdir store).(0));
+          let p = E.Runner.status ~store spec in
+          Alcotest.(check int) "one missing" 1 p.E.Runner.missing;
+          Alcotest.(check int) "seven cached" 7 p.E.Runner.cached;
+          let resumed = E.Runner.run ~pool ~store spec in
+          Alcotest.(check int) "resume simulates the hole only" 1
+            resumed.E.Runner.simulated;
+          Alcotest.(check int) "resume reruns one baseline" 1 resumed.E.Runner.baselines;
+          Alcotest.(check int) "resume loads the rest" 7 resumed.E.Runner.loaded;
+          check_same_ratios "resumed campaign identical" cold resumed;
+          let healed = E.Runner.status ~store spec in
+          Alcotest.(check int) "store healed" 0 healed.E.Runner.missing))
+
+let test_status_counts () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      with_temp_store (fun store ->
+          let spec = cache_spec () in
+          let p = E.Runner.status spec in
+          Alcotest.(check int) "no store: total" 8 p.E.Runner.total;
+          Alcotest.(check int) "no store: all missing" 8 p.E.Runner.missing;
+          let p = E.Runner.status ~store spec in
+          Alcotest.(check int) "empty store: all missing" 8 p.E.Runner.missing;
+          ignore (E.Runner.run ~pool ~store spec);
+          let p = E.Runner.status ~store spec in
+          Alcotest.(check int) "full store: all cached" 8 p.E.Runner.cached;
+          Alcotest.(check int) "full store: none missing" 0 p.E.Runner.missing))
+
+let test_corrupt_record_is_a_miss () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      with_temp_store (fun store ->
+          let spec = cache_spec () in
+          let cold = E.Runner.run ~pool ~store spec in
+          let victim = Filename.concat store (Sys.readdir store).(0) in
+          let oc = open_out victim in
+          output_string oc "{ truncated";
+          close_out oc;
+          let rerun = E.Runner.run ~pool ~store spec in
+          Alcotest.(check int) "corrupt record re-simulated" 1 rerun.E.Runner.simulated;
+          check_same_ratios "repaired run identical" cold rerun))
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity with the pre-engine Monte Carlo loop                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact replication protocol the campaign engine replaced: derived
+   seed, shared job specs, shared baseline, waste ratio against it. Any
+   drift between this and Runner breaks reproducibility of published
+   numbers, so equality is exact. *)
+let legacy_ratio ~platform ~classes ~strategy ~seed ~days ~rep =
+  let s = E.Spec.rep_seed ~seed ~rep in
+  let cfg st = Config.make ~platform ~classes ~strategy:st ~seed:s ~days () in
+  let baseline_cfg = cfg Strategy.Baseline in
+  let specs = Simulator.generate_specs baseline_cfg in
+  let baseline = Simulator.run ~specs baseline_cfg in
+  let r = Simulator.run ~specs (cfg strategy) in
+  Simulator.waste_ratio ~strategy:r ~baseline
+
+let test_matches_legacy_loop () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let base = tiny_platform () in
+      let strategies = [ Strategy.Least_waste; Strategy.Ordered Strategy.Daly ] in
+      let mtbf_years = [ 0.1; 0.5 ] in
+      let seed = 9 and days = 0.5 and reps = 2 in
+      let spec =
+        E.Spec.make ~name:"legacy" ~platform:base ~classes:[ tiny_class ] ~strategies
+          ~axis:(E.Spec.Mtbf_years mtbf_years) ~reps ~seed ~days ()
+      in
+      let o = E.Runner.run ~pool spec in
+      let results = Array.of_list o.E.Runner.results in
+      List.iteri
+        (fun ci y ->
+          let platform = Platform.with_node_mtbf base (Units.years y) in
+          List.iteri
+            (fun si strategy ->
+              let r = results.((ci * List.length strategies) + si) in
+              for rep = 0 to reps - 1 do
+                checkf "campaign = legacy loop, bit for bit" ~eps:0.0
+                  (legacy_ratio ~platform ~classes:[ tiny_class ] ~strategy ~seed ~days
+                     ~rep)
+                  r.E.Runner.ratios.(rep)
+              done)
+            strategies)
+        mtbf_years)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "cocheck.campaign"
+    [
+      ( "spec",
+        qsuite [ test_spec_roundtrip_prop; test_spec_file_roundtrip_prop ]
+        @ [
+            Alcotest.test_case "name strings accepted" `Quick
+              test_spec_name_strings_accepted;
+            Alcotest.test_case "validation" `Quick test_spec_validate;
+          ] );
+      ( "digest",
+        [
+          Alcotest.test_case "deterministic" `Quick test_digest_deterministic;
+          Alcotest.test_case "sensitive to result fields" `Quick
+            test_key_changes_with_result_fields;
+          Alcotest.test_case "stable under neutral edits" `Quick
+            test_key_survives_neutral_edits;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "cold then warm" `Slow test_cold_then_warm;
+          Alcotest.test_case "interrupted resume" `Slow test_interrupted_resume;
+          Alcotest.test_case "status counts" `Slow test_status_counts;
+          Alcotest.test_case "corrupt record is a miss" `Slow
+            test_corrupt_record_is_a_miss;
+          Alcotest.test_case "bit-identical to legacy loop" `Slow
+            test_matches_legacy_loop;
+        ] );
+    ]
