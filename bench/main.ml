@@ -233,7 +233,7 @@ let micro_tests () =
   let arbiter_lw n =
     let module T = Cocheck_sim.Sim_types in
     let module Jobgen = Cocheck_model.Jobgen in
-    let node_pool = Cocheck_sim.Node_pool.create ~nodes:200_000 in
+    let node_pool = Cocheck_sim.Node_pool.create ~nodes:(1024 * n) in
     let mk_request i =
       let nodes = 128 + (64 * (i mod 11)) in
       let spec =
@@ -313,6 +313,7 @@ let micro_tests () =
     io_rebalance 1024;
     arbiter_lw 16;
     arbiter_lw 128;
+    arbiter_lw 1024;
   ]
 
 let rec rm_rf path =

@@ -577,6 +577,94 @@ let observe_cmd =
           $ sample_dt_t $ trace_out_t $ series_out_t $ manifest_out_t)
 
 (* ------------------------------------------------------------------ *)
+(* bench-diff                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare two BENCH_*.json trajectory files (written by bench/main.exe)
+   per benchmark, so perf moves between commits are one command away —
+   CI runs this informationally against the committed baseline. *)
+let bench_diff_cmd =
+  let module J = Obs.Json in
+  let old_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json"
+           ~doc:"Baseline BENCH file.")
+  in
+  let new_t =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json"
+           ~doc:"Candidate BENCH file.")
+  in
+  let threshold_t =
+    Arg.(value & opt float 0.0 & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Only report benchmarks whose delta exceeds $(docv) percent in \
+                 either direction (default 0: report everything).")
+  in
+  let load path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match J.of_string s with
+    | Ok j -> j
+    | Error e ->
+        Format.eprintf "error: %s: %s@." path e;
+        exit 1
+  in
+  let micro_rows j =
+    match Option.bind (J.member "micro" j) J.to_list_opt with
+    | None -> []
+    | Some rows ->
+        List.filter_map
+          (fun row ->
+            match
+              ( Option.bind (J.member "name" row) J.to_string_opt,
+                Option.bind (J.member "ns_per_run" row) J.to_float_opt )
+            with
+            | Some name, Some ns -> Some (name, ns)
+            | _ -> None)
+          rows
+  in
+  let e2e_rows j =
+    match J.member "end_to_end" j with
+    | Some (J.Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (J.to_float_opt v)) kvs
+    | _ -> []
+  in
+  let diff_section ~title ~unit ~threshold old_rows new_rows =
+    let names =
+      List.sort_uniq String.compare (List.map fst old_rows @ List.map fst new_rows)
+    in
+    if names <> [] then begin
+      Format.printf "@.%s@." title;
+      Format.printf "  %-42s %14s %14s %9s %9s@." "benchmark" ("old " ^ unit)
+        ("new " ^ unit) "delta" "speedup";
+      List.iter
+        (fun name ->
+          match (List.assoc_opt name old_rows, List.assoc_opt name new_rows) with
+          | Some o, Some n ->
+              let delta = if o = 0.0 then Float.nan else (n -. o) /. o *. 100.0 in
+              if Float.is_nan delta || Float.abs delta >= threshold then
+                Format.printf "  %-42s %14.1f %14.1f %8.1f%% %8.2fx@." name o n delta
+                  (if n = 0.0 then Float.nan else o /. n)
+          | None, Some n -> Format.printf "  %-42s %14s %14.1f      (new)@." name "-" n
+          | Some o, None -> Format.printf "  %-42s %14.1f %14s     (gone)@." name o "-"
+          | None, None -> ())
+        names
+    end
+  in
+  let action old_path new_path threshold =
+    let jo = load old_path and jn = load new_path in
+    Format.printf "bench-diff: %s -> %s@." old_path new_path;
+    diff_section ~title:"micro (Bechamel OLS estimate)" ~unit:"ns/run" ~threshold
+      (micro_rows jo) (micro_rows jn);
+    diff_section ~title:"end-to-end (one shot)" ~unit:"s" ~threshold (e2e_rows jo)
+      (e2e_rows jn)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Report per-benchmark deltas between two BENCH_*.json files written by \
+             bench/main.exe (informational; always exits 0).")
+    Term.(const action $ old_t $ new_t $ threshold_t)
+
+(* ------------------------------------------------------------------ *)
 (* campaign                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -723,6 +811,7 @@ let main =
     [
       run_cmd; observe_cmd; campaign_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd;
       bound_cmd; trace_cmd; ablation_cmd; check_cmd; timeline_cmd; report_cmd;
+      bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

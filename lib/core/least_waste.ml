@@ -2,6 +2,11 @@
    v is the service time of the selected candidate and term(j) depends on
    which pool j belongs to. *)
 
+(* Grants sit on the simulator's hot path; well-formedness is the
+   constructor's obligation, so [select] only re-checks it when this flag
+   is raised (tests do). *)
+let debug_validate = ref false
+
 let inflicted_waste ~node_mtbf_s ~service_s ~self candidates =
   if node_mtbf_s <= 0.0 then invalid_arg "Least_waste: MTBF must be positive";
   let v = service_s in
@@ -18,7 +23,7 @@ let inflicted_waste ~node_mtbf_s ~service_s ~self candidates =
 
 let select ~node_mtbf_s candidates =
   if node_mtbf_s <= 0.0 then invalid_arg "Least_waste.select: MTBF must be positive";
-  List.iter Candidate.validate candidates;
+  if !debug_validate then List.iter Candidate.validate candidates;
   let best = ref None in
   List.iter
     (fun c ->
@@ -31,3 +36,155 @@ let select ~node_mtbf_s candidates =
       | _ -> best := Some (c, w))
     candidates;
   Option.map fst !best
+
+(* ------------------------------------------------------------------ *)
+(* Incremental aggregates                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every candidate's term is affine both in the selected service time [v]
+   and in the evaluation instant [now] once the time-dependent inputs are
+   written against absolute clocks (w_j = now − at_j for IO waits,
+   e_j = now − last_commit_end_j for checkpoint exposure):
+
+     Io   j:  n_j·(now − at_j + v)               = n_j·now − n_j·at_j + n_j·v
+     Ckpt j:  q_j²/M·(r_j + now − lce_j + v/2)   = k_j·now + k_j·(r_j − lce_j) + k_j/2·v
+
+   with k_j = q_j²/M. So the pool-wide sum collapses to three scalars
+
+     Σ_j term_j(now, v) = A·now + B + S1·v
+
+   maintained in O(1) on every add/remove, and the Eq. (1)/(2) waste of
+   candidate i is recovered by self-exclusion:
+
+     W_i = v_i · (A·now + B + S1·v_i − term_i(now, v_i)).
+
+   Each key's per-term evaluation keeps the exact float expression of
+   {!inflicted_waste}; only the summation order differs, which is why the
+   arbiter ships with a differential oracle (see lib/sim/lw_reference.ml). *)
+module Aggregate = struct
+  type entry =
+    | Io_entry of { nodes : int; service_s : float; enqueued_at : float }
+    | Ckpt_entry of {
+        nodes : int;
+        ckpt_s : float;
+        recovery_s : float;
+        last_commit_end : float;
+      }
+
+  (* The scalars an entry contributed at [add] time, so [remove] subtracts
+     exactly what was added even if the caller's state moved meanwhile. *)
+  type contrib = { entry : entry; da : float; db : float; ds1 : float }
+
+  (* Each running sum is Kahan–Babuška compensated: adds and removals of
+     large members would otherwise leave ulp-sized residue behind a
+     now-small pool, and the drift (≈ ops × ulp(historical max)) can reach
+     the magnitude of a small survivor's waste. Compensation pushes the
+     drift to second order; the drain-point reset clears even that. *)
+  type t = {
+    node_mtbf_s : float;
+    entries : (int, contrib) Hashtbl.t;
+    mutable a : float;  (* coefficient of [now] in Σ term_j *)
+    mutable ca : float;
+    mutable b : float;  (* constant part of Σ term_j *)
+    mutable cb : float;
+    mutable s1 : float;  (* coefficient of [v] in Σ term_j *)
+    mutable cs1 : float;
+  }
+
+  let create ~node_mtbf_s =
+    if node_mtbf_s <= 0.0 then
+      invalid_arg "Least_waste.Aggregate.create: MTBF must be positive";
+    {
+      node_mtbf_s;
+      entries = Hashtbl.create 64;
+      a = 0.0;
+      ca = 0.0;
+      b = 0.0;
+      cb = 0.0;
+      s1 = 0.0;
+      cs1 = 0.0;
+    }
+
+  let size t = Hashtbl.length t.entries
+
+  let contrib_of t entry =
+    match entry with
+    | Io_entry { nodes; service_s = _; enqueued_at } ->
+        let n = float_of_int nodes in
+        { entry; da = n; db = -.(n *. enqueued_at); ds1 = n }
+    | Ckpt_entry { nodes; ckpt_s = _; recovery_s; last_commit_end } ->
+        let q = float_of_int nodes in
+        let k = q *. q /. t.node_mtbf_s in
+        { entry; da = k; db = k *. (recovery_s -. last_commit_end); ds1 = 0.5 *. k }
+
+  (* One Kahan–Babuška (Neumaier) step on a (sum, compensation) pair. *)
+  let[@inline] accumulate t ~sign (c : contrib) =
+    let step sum comp x =
+      let s = sum +. x in
+      let comp =
+        if Float.abs sum >= Float.abs x then comp +. (sum -. s +. x)
+        else comp +. (x -. s +. sum)
+      in
+      (s, comp)
+    in
+    let a, ca = step t.a t.ca (sign *. c.da) in
+    t.a <- a;
+    t.ca <- ca;
+    let b, cb = step t.b t.cb (sign *. c.db) in
+    t.b <- b;
+    t.cb <- cb;
+    let s1, cs1 = step t.s1 t.cs1 (sign *. c.ds1) in
+    t.s1 <- s1;
+    t.cs1 <- cs1
+
+  let add t ~key entry =
+    if Hashtbl.mem t.entries key then
+      invalid_arg "Least_waste.Aggregate.add: duplicate key";
+    let c = contrib_of t entry in
+    Hashtbl.replace t.entries key c;
+    accumulate t ~sign:1.0 c
+
+  let remove t ~key =
+    match Hashtbl.find_opt t.entries key with
+    | None -> ()
+    | Some c ->
+        Hashtbl.remove t.entries key;
+        if Hashtbl.length t.entries = 0 then begin
+          (* Drain point: reset exactly, so not even second-order drift
+             from a long add/remove history outlives a busy period. *)
+          t.a <- 0.0;
+          t.ca <- 0.0;
+          t.b <- 0.0;
+          t.cb <- 0.0;
+          t.s1 <- 0.0;
+          t.cs1 <- 0.0
+        end
+        else accumulate t ~sign:(-1.0) c
+
+  let mem t ~key = Hashtbl.mem t.entries key
+
+  let service_time = function
+    | Io_entry { service_s; _ } -> service_s
+    | Ckpt_entry { ckpt_s; _ } -> ckpt_s
+
+  (* The entry's own Eq. (1)/(2) term, with the same float expression the
+     list oracle evaluates (waited/exposed materialized as now − clock). *)
+  let term t ~now ~service_s entry =
+    match entry with
+    | Io_entry { nodes; enqueued_at; _ } ->
+        float_of_int nodes *. (now -. enqueued_at +. service_s)
+    | Ckpt_entry { nodes; recovery_s; last_commit_end; _ } ->
+        let q = float_of_int nodes in
+        q *. q /. t.node_mtbf_s
+        *. (recovery_s +. (now -. last_commit_end) +. (service_s /. 2.0))
+
+  let total_term t ~now ~service_s =
+    (((t.a +. t.ca) *. now) +. (t.b +. t.cb)) +. ((t.s1 +. t.cs1) *. service_s)
+
+  let waste t ~now ~key =
+    match Hashtbl.find_opt t.entries key with
+    | None -> invalid_arg "Least_waste.Aggregate.waste: unknown key"
+    | Some c ->
+        let v = service_time c.entry in
+        v *. (total_term t ~now ~service_s:v -. term t ~now ~service_s:v c.entry)
+end

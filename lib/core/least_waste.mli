@@ -14,6 +14,12 @@
     The token goes to the candidate minimising the total waste inflicted on
     the others. *)
 
+val debug_validate : bool ref
+(** When set, {!select} runs {!Candidate.validate} on every candidate and
+    raises [Invalid_argument] on a malformed one. Off by default: selection
+    sits on the simulator's grant hot path and well-formedness is the
+    candidate constructor's obligation. Tests flip it on. *)
+
 val inflicted_waste : node_mtbf_s:float -> service_s:float -> self:int -> Candidate.t list -> float
 (** [inflicted_waste ~node_mtbf_s ~service_s ~self candidates] is the waste
     [W_i] of Equations (1)/(2): serving for [service_s] seconds, summed over
@@ -22,5 +28,73 @@ val inflicted_waste : node_mtbf_s:float -> service_s:float -> self:int -> Candid
 val select : node_mtbf_s:float -> Candidate.t list -> Candidate.t option
 (** The candidate with minimal inflicted waste; ties break towards the
     earliest in the list (FCFS among equals). [None] on an empty list.
-    Raises [Invalid_argument] if any candidate fails
-    {!Candidate.validate} or [node_mtbf_s <= 0]. *)
+    Raises [Invalid_argument] if [node_mtbf_s <= 0], or if any candidate
+    fails {!Candidate.validate} while {!debug_validate} is set. O(n²) in
+    the candidate count — kept as the differential-testing oracle for the
+    O(n) {!Aggregate} path. *)
+
+(** Incremental time-linear aggregates for Least-Waste arbitration.
+
+    Written against absolute clocks (enqueue instant, last-commit instant),
+    every candidate's Eq. (1)/(2) term is affine in the evaluation instant
+    [now] {e and} in the service time [v] of the candidate under
+    consideration, so the pool-wide sum collapses to three scalars
+
+    {v Σ_j term_j(now, v) = A·now + B + S1·v v}
+
+    maintained in O(1) on every {!Aggregate.add}/{!Aggregate.remove}. The
+    inflicted waste of member [i] is then recovered by self-exclusion,
+
+    {v W_i = v_i · (A·now + B + S1·v_i − term_i(now, v_i)) v}
+
+    turning a full Least-Waste grant into one O(pool) scan with no
+    intermediate candidate list. Per-member terms keep the exact float
+    expressions of {!inflicted_waste}; only the summation order differs
+    from the list oracle, so results agree to rounding (differentially
+    tested, see [lib/sim/lw_reference.ml]). The running sums are reset to
+    exact zeros whenever the pool drains, bounding float drift to one busy
+    period. *)
+module Aggregate : sig
+  type t
+
+  type entry =
+    | Io_entry of { nodes : int; service_s : float; enqueued_at : float }
+        (** A blocked transfer: [waited_s] at evaluation time is
+            [now − enqueued_at]. *)
+    | Ckpt_entry of {
+        nodes : int;
+        ckpt_s : float;
+        recovery_s : float;
+        last_commit_end : float;
+      }
+        (** A checkpoint request: [exposed_s] at evaluation time is
+            [now − last_commit_end]. *)
+
+  val create : node_mtbf_s:float -> t
+  (** An empty pool. Raises [Invalid_argument] if [node_mtbf_s <= 0]. *)
+
+  val add : t -> key:int -> entry -> unit
+  (** O(1). Raises [Invalid_argument] on a duplicate key. *)
+
+  val remove : t -> key:int -> unit
+  (** O(1); subtracts exactly the contribution [add] recorded for [key]
+      (no-op on unknown keys). *)
+
+  val mem : t -> key:int -> bool
+  val size : t -> int
+
+  val service_time : entry -> float
+  (** [v_i]: the exclusive service time the entry needs if selected. *)
+
+  val term : t -> now:float -> service_s:float -> entry -> float
+  (** The entry's own Eq. (1)/(2) term at [now] under a grant of
+      [service_s] seconds — the quantity the aggregates sum. *)
+
+  val total_term : t -> now:float -> service_s:float -> float
+  (** [A·now + B + S1·service_s]: Σ term over every current member. *)
+
+  val waste : t -> now:float -> key:int -> float
+  (** The inflicted waste [W_i] of member [key] at [now]: its service time
+      times ({!total_term} minus its own {!term}). Raises
+      [Invalid_argument] on an unknown key. *)
+end

@@ -1,6 +1,5 @@
 open Sim_types
 module Strategy = Cocheck_core.Strategy
-module Candidate = Cocheck_core.Candidate
 module Least_waste = Cocheck_core.Least_waste
 
 module type S = Sim_types.ARBITER
@@ -74,13 +73,19 @@ module Ipool = struct
       match t.slots.(i) with Some r -> f r | None -> ()
     done
 
-  let fold t f acc =
-    let acc = ref acc in
-    iter t (fun r -> acc := f !acc r);
-    !acc
-
-  let find_by_id t key =
-    Option.bind (Hashtbl.find_opt t.index key) (fun i -> t.slots.(i))
+  (* One in-place sweep: each matching slot is unindexed and cleared as it
+     is visited — no mark pass, no intermediate list. [pred] may carry the
+     caller's side effects (cancellation marks, counters, aggregates). *)
+  let remove_if t pred =
+    for i = t.head to t.tail - 1 do
+      match t.slots.(i) with
+      | Some r when pred r ->
+          t.slots.(i) <- None;
+          Hashtbl.remove t.index r.r_id;
+          t.live <- t.live - 1
+      | _ -> ()
+    done;
+    advance_head t
 
   let live t = t.live
 end
@@ -104,15 +109,20 @@ let stats_of ~policy ~pending (c : counters) =
 (* ------------------------------------------------------------------ *)
 
 (* FCFS with lazy cancellation: kills mark [r_cancelled] and the stale
-   entries are discarded when they surface at the queue head. *)
+   entries are discarded when they surface at the queue head. The live
+   count is tracked alongside (marks decrement it immediately), so
+   [pending] — read by every stats probe — is O(1) instead of a
+   whole-queue fold. *)
 let fifo () : arbiter =
   (module struct
     let policy = "fifo"
     let q : request Queue.t = Queue.create ()
     let c = counters ()
+    let live = ref 0
 
     let enqueue r =
       c.enq <- c.enq + 1;
+      incr live;
       Queue.add r q
 
     let cancel_of_inst inst =
@@ -120,6 +130,7 @@ let fifo () : arbiter =
         (fun r ->
           if r.r_inst.idx = inst.idx && not r.r_cancelled then begin
             r.r_cancelled <- true;
+            decr live;
             c.cancelled <- c.cancelled + 1
           end)
         q
@@ -131,17 +142,22 @@ let fifo () : arbiter =
         | Some r when r.r_cancelled -> pop ()
         | Some r ->
             c.granted <- c.granted + 1;
+            decr live;
             Some r
       in
       pop ()
 
-    let pending () = Queue.fold (fun acc r -> if r.r_cancelled then acc else acc + 1) 0 q
+    let pending () = !live
     let stats () = stats_of ~policy ~pending:(pending ()) c
   end)
 
-(* Shared scaffolding of the pool-scanning policies: eager withdrawal,
-   O(1) removal of the selection. *)
-let pool_policy ~policy ~choose () : arbiter =
+(* Shared scaffolding of the pool-scanning policies: eager withdrawal in
+   one in-place sweep, O(1) removal of the selection. [on_add]/[on_remove]
+   let a policy maintain derived state (the Least-Waste aggregates) in
+   lock-step with pool membership; every exit path — grant or
+   cancellation — funnels through [on_remove] exactly once. *)
+let pool_policy ~policy ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ()) ~choose () :
+    arbiter =
   (module struct
     let policy = policy
     let pool = Ipool.create ()
@@ -149,20 +165,25 @@ let pool_policy ~policy ~choose () : arbiter =
 
     let enqueue r =
       c.enq <- c.enq + 1;
-      Ipool.add pool r
+      Ipool.add pool r;
+      on_add r
 
     let cancel_of_inst inst =
-      Ipool.iter pool (fun r -> if r.r_inst.idx = inst.idx then r.r_cancelled <- true);
-      Ipool.fold pool (fun acc r -> if r.r_cancelled then r :: acc else acc) []
-      |> List.iter (fun r ->
-             c.cancelled <- c.cancelled + 1;
-             Ipool.remove pool r)
+      Ipool.remove_if pool (fun r ->
+          if r.r_inst.idx = inst.idx then begin
+            r.r_cancelled <- true;
+            c.cancelled <- c.cancelled + 1;
+            on_remove r;
+            true
+          end
+          else false)
 
     let select ~now =
       match choose pool ~now with
       | None -> None
       | Some r ->
           Ipool.remove pool r;
+          on_remove r;
           c.granted <- c.granted + 1;
           Some r
 
@@ -171,38 +192,52 @@ let pool_policy ~policy ~choose () : arbiter =
   end)
 
 (* Section 3.4: grant to the candidate minimising the expected waste its
-   service inflicts on everyone else. Candidates are offered in arrival
-   order, exactly as the retired list-based pool did, so selections (and
-   their floating-point tie-breaks) are bit-identical. *)
+   service inflicts on everyone else. Equations (1)–(2) are affine in the
+   grant instant and in the candidate's service time, so the pool-wide
+   sums live in three scalars the {!Least_waste.Aggregate} maintains in
+   O(1) per add/remove, and a grant is one O(pending) arrival-order scan
+   over the live slots — no candidate list, no per-pair re-summation, no
+   allocation beyond the two accumulator refs. Ties break towards arrival
+   order exactly as {!Least_waste.select} breaks them. The retired
+   list-based formulation survives as the differential-testing oracle in
+   {!Lw_reference}. *)
 let least_waste ~node_mtbf_s ~bandwidth_gbs () : arbiter =
-  let to_candidate ~now r =
+  let module Agg = Least_waste.Aggregate in
+  let agg = Agg.create ~node_mtbf_s in
+  let entry_of r =
     match r.r_kind with
     | Req_io _ ->
-        Candidate.Io
+        Agg.Io_entry
           {
-            Candidate.key = r.r_id;
             nodes = r.r_inst.spec.nodes;
             service_s = r.r_volume /. bandwidth_gbs;
-            waited_s = now -. r.r_at;
+            enqueued_at = r.r_at;
           }
     | Req_ckpt ->
-        Candidate.Ckpt
+        Agg.Ckpt_entry
           {
-            Candidate.key = r.r_id;
             nodes = r.r_inst.spec.nodes;
             ckpt_s = r.r_inst.ckpt_nominal;
-            exposed_s = now -. r.r_inst.last_commit_end;
             recovery_s = r.r_inst.ckpt_nominal;
+            last_commit_end = r.r_inst.last_commit_end;
           }
   in
   let choose pool ~now =
-    match List.rev (Ipool.fold pool (fun acc r -> to_candidate ~now r :: acc) []) with
-    | [] -> None
-    | cands ->
-        Option.bind (Least_waste.select ~node_mtbf_s cands) (fun c ->
-            Ipool.find_by_id pool (Candidate.key c))
+    let best = ref None in
+    let best_w = ref infinity in
+    Ipool.iter pool (fun r ->
+        let w = Agg.waste agg ~now ~key:r.r_id in
+        match !best with
+        | Some _ when w >= !best_w -> ()
+        | _ ->
+            best := Some r;
+            best_w := w);
+    !best
   in
-  pool_policy ~policy:"least-waste" ~choose ()
+  pool_policy ~policy:"least-waste"
+    ~on_add:(fun r -> Agg.add agg ~key:r.r_id (entry_of r))
+    ~on_remove:(fun r -> Agg.remove agg ~key:r.r_id)
+    ~choose ()
 
 (* Grant to the request with the most node-seconds currently at risk:
    exposure (time since the last commit for checkpoints, waiting time for
@@ -218,12 +253,16 @@ let greedy_exposure () : arbiter =
     exposure *. float_of_int r.r_inst.spec.nodes
   in
   let choose pool ~now =
-    Ipool.fold pool
-      (fun best r ->
+    let best = ref None in
+    let best_s = ref neg_infinity in
+    Ipool.iter pool (fun r ->
         let s = score ~now r in
-        match best with Some (_, s_best) when s <= s_best -> best | _ -> Some (r, s))
-      None
-    |> Option.map fst
+        match !best with
+        | Some _ when s <= !best_s -> ()
+        | _ ->
+            best := Some r;
+            best_s := s);
+    !best
   in
   pool_policy ~policy:"greedy-exposure" ~choose ()
 

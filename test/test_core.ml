@@ -326,10 +326,129 @@ let test_select_tie_breaks_fcfs () =
   | None -> Alcotest.fail "expected a winner"
 
 let test_candidate_validation () =
-  Alcotest.(check bool) "negative wait rejected" true
-    (match Least_waste.select ~node_mtbf_s:1e6 [ io ~key:0 ~nodes:1 ~v:1.0 ~d:(-1.0) ] with
-    | exception Invalid_argument _ -> true
-    | _ -> false)
+  let bad = [ io ~key:0 ~nodes:1 ~v:1.0 ~d:(-1.0) ] in
+  (* Release path: validation is skipped (grants are hot), garbage in
+     garbage out. *)
+  Alcotest.(check bool) "release path skips validation" true
+    (match Least_waste.select ~node_mtbf_s:1e6 bad with
+    | Some _ -> true
+    | None | (exception Invalid_argument _) -> false);
+  Least_waste.debug_validate := true;
+  Fun.protect
+    ~finally:(fun () -> Least_waste.debug_validate := false)
+    (fun () ->
+      Alcotest.(check bool) "negative wait rejected under debug_validate" true
+        (match Least_waste.select ~node_mtbf_s:1e6 bad with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Least_waste.Aggregate                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The closed-form W_i = v·(A·now + B + S1·v − term_i) must match the
+   direct Σ_{j≠i} evaluation of {!Least_waste.inflicted_waste} for every
+   member, within float tolerance — including on pools mutated by long
+   interleaved add/remove histories, where the running sums accumulate
+   drift the direct sum never sees. Candidates are materialized from the
+   same absolute clocks the aggregate stores (waited = now − at,
+   exposed = now − lce), exactly as the arbiter's oracle does. *)
+let test_aggregate_matches_oracle =
+  let module Agg = Least_waste.Aggregate in
+  let op_gen =
+    QCheck.Gen.(
+      let entry =
+        let* nodes = int_range 1 5000 in
+        let* is_io = bool in
+        if is_io then
+          let* service_s = float_range 1.0 5000.0 in
+          let* enqueued_at = float_range 0.0 1e6 in
+          return (Agg.Io_entry { nodes; service_s; enqueued_at })
+        else
+          let* ckpt_s = float_range 1.0 2000.0 in
+          let* recovery_s = float_range 1.0 2000.0 in
+          let* last_commit_end = float_range 0.0 1e6 in
+          return (Agg.Ckpt_entry { nodes; ckpt_s; recovery_s; last_commit_end })
+      in
+      list_size (int_range 1 200)
+        (oneof [ map (fun e -> `Add e) entry; return `Remove_oldest ]))
+  in
+  QCheck.Test.make ~name:"aggregate_waste_matches_direct_sum" ~count:300
+    (QCheck.make op_gen)
+    (fun ops ->
+      let mu = Units.years 2.0 in
+      let agg = Agg.create ~node_mtbf_s:mu in
+      let live = ref [] (* (key, entry), newest first *)
+      and next = ref 0 in
+      List.iter
+        (function
+          | `Add e ->
+              Agg.add agg ~key:!next e;
+              live := (!next, e) :: !live;
+              incr next
+          | `Remove_oldest -> (
+              match List.rev !live with
+              | [] -> ()
+              | (k, _) :: _ ->
+                  Agg.remove agg ~key:k;
+                  live := List.filter (fun (k', _) -> k' <> k) !live))
+        ops;
+      let now = 1e6 +. 12_345.678 in
+      let to_candidate (key, e) =
+        match e with
+        | Agg.Io_entry { nodes; service_s; enqueued_at } ->
+            Candidate.Io
+              { Candidate.key; nodes; service_s; waited_s = now -. enqueued_at }
+        | Agg.Ckpt_entry { nodes; ckpt_s; recovery_s; last_commit_end } ->
+            Candidate.Ckpt
+              {
+                Candidate.key;
+                nodes;
+                ckpt_s;
+                exposed_s = now -. last_commit_end;
+                recovery_s;
+              }
+      in
+      let cands = List.map to_candidate (List.rev !live) in
+      Agg.size agg = List.length !live
+      && List.for_all
+           (fun (key, e) ->
+             let v = Agg.service_time e in
+             let direct =
+               Least_waste.inflicted_waste ~node_mtbf_s:mu ~service_s:v ~self:key
+                 cands
+             in
+             let incr_w = Agg.waste agg ~now ~key in
+             (* A·now + B cancels catastrophically when waits are short
+                next to the clock, so the tolerance is scaled by the
+                intermediate magnitude v·A·now as well as the true value. *)
+             let da = function
+               | Agg.Io_entry { nodes; _ } -> float_of_int nodes
+               | Agg.Ckpt_entry { nodes; _ } ->
+                   let q = float_of_int nodes in
+                   q *. q /. mu
+             in
+             let a_sum =
+               List.fold_left (fun acc (_, e') -> acc +. da e') 0.0 !live
+             in
+             let scale = v *. a_sum *. now in
+             Float.abs (incr_w -. direct)
+             <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs direct) scale))
+           !live)
+
+let test_aggregate_duplicate_key () =
+  let module Agg = Least_waste.Aggregate in
+  let agg = Agg.create ~node_mtbf_s:1e6 in
+  let e = Agg.Io_entry { nodes = 4; service_s = 10.0; enqueued_at = 0.0 } in
+  Agg.add agg ~key:7 e;
+  Alcotest.(check bool) "mem" true (Agg.mem agg ~key:7);
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Least_waste.Aggregate.add: duplicate key") (fun () ->
+      Agg.add agg ~key:7 e);
+  Agg.remove agg ~key:7;
+  Agg.remove agg ~key:7;
+  (* idempotent *)
+  Alcotest.(check int) "empty" 0 (Agg.size agg)
 
 (* ------------------------------------------------------------------ *)
 (* Strategy                                                             *)
@@ -469,8 +588,10 @@ let () =
           Alcotest.test_case "prefers short service" `Quick test_select_prefers_short_service;
           Alcotest.test_case "FCFS tie-break" `Quick test_select_tie_breaks_fcfs;
           Alcotest.test_case "candidate validation" `Quick test_candidate_validation;
+          Alcotest.test_case "aggregate key discipline" `Quick
+            test_aggregate_duplicate_key;
         ]
-        @ qsuite [ test_select_matches_bruteforce ] );
+        @ qsuite [ test_select_matches_bruteforce; test_aggregate_matches_oracle ] );
       ( "strategy",
         [
           Alcotest.test_case "paper seven" `Quick test_paper_seven;
