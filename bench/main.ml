@@ -25,7 +25,7 @@ let modes = ref []
 let bench_out = ref ""
 let quota_s = ref 1.0
 
-let usage = "bench [table1|fig1|fig2|fig3|ablations|micro|all]* [options]"
+let usage = "bench [table1|fig1|fig2|fig3|ablations|micro|tracing|all]* [options]"
 
 let spec =
   [
@@ -395,6 +395,61 @@ let run_micro pool =
       ignore (Simulator.run cfg));
   run_campaign_resume pool e2e
 
+(* Zero-cost-when-off contract of the tracing layer: driving the simulator
+   through the fully instrumented path with the disabled tracer must give a
+   bit-identical result, attach nothing to the engine, and cost within noise
+   of the bare run. The identity checks are hard assertions; the timing is
+   reported (and lands in the BENCH json) rather than asserted, because
+   one-shot wall clock is too noisy to gate on here — `simctl bench-diff
+   --fail-above` is the gate. *)
+let run_tracing_overhead () =
+  section "Tracing overhead (disabled tracer)";
+  let module Tracing = Cocheck_obs.Tracing in
+  let tracer = Tracing.disabled in
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 () in
+  let cfg =
+    Config.make ~platform ~strategy:Strategy.Least_waste ~seed:!seed ~days:60.0 ()
+  in
+  let iters = 30 in
+  let run_plain () = Simulator.run cfg in
+  let run_instrumented () =
+    let flush = ref (fun () -> ()) in
+    let on_engine engine =
+      flush :=
+        Tracing.instrument_engine tracer ~prefix:"bench"
+          ~kinds:Cocheck_sim.Ev_kind.names engine
+    in
+    let r =
+      Tracing.span tracer ~cat:"bench" "simulate" (fun () ->
+          Simulator.run ~on_engine cfg)
+    in
+    !flush ();
+    r
+  in
+  ignore (run_plain ());
+  (* warm caches *)
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = ref (f ()) in
+    for _ = 2 to iters do
+      r := f ()
+    done;
+    (!r, (Unix.gettimeofday () -. t0) /. float_of_int iters)
+  in
+  let plain, t_plain = time run_plain in
+  let instrumented, t_instr = time run_instrumented in
+  if plain <> instrumented then
+    failwith "tracing-overhead: disabled tracer changed simulation results";
+  if Tracing.is_enabled tracer || Tracing.length tracer <> 0 then
+    failwith "tracing-overhead: disabled tracer recorded events";
+  e2e_wall := ("tracing-off-instrumented-60day", t_instr) :: !e2e_wall;
+  e2e_wall := ("tracing-off-bare-60day", t_plain) :: !e2e_wall;
+  Printf.printf
+    "  bare %.4f s, instrumented-but-off %.4f s per run over %d runs (delta %+.1f%%)\n\
+    \  results bit-identical, 0 events recorded\n"
+    t_plain t_instr iters
+    (if t_plain > 0.0 then 100.0 *. (t_instr -. t_plain) /. t_plain else 0.0)
+
 (* ------------------------------------------------------------------ *)
 
 let write_bench_json ~modes =
@@ -443,7 +498,8 @@ let () =
       if has "fig2" then run_fig2 pool;
       if has "fig3" then run_fig3 pool;
       if has "ablations" then run_ablations pool;
-      if has "micro" then timed "micro" (fun () -> run_micro pool));
+      if has "micro" then timed "micro" (fun () -> run_micro pool);
+      if has "tracing" then timed "tracing" run_tracing_overhead);
   (match Cocheck_obs.Timer.phases timer with
   | [] -> ()
   | _ ->

@@ -170,6 +170,16 @@ let sample_dt_t =
   Arg.(value & opt (some pos_float_conv) None & info [ "sample-dt" ] ~docv:"SECONDS"
          ~doc:"Probe interval for the time series (default: horizon / 400).")
 
+let perfetto_out_t =
+  Arg.(value & opt (some string) None & info [ "perfetto-out" ] ~docv:"FILE"
+         ~doc:"Profile the run itself — engine phase spans, per-worker lanes, \
+               event-churn and GC counter tracks — and write Chrome trace_event \
+               JSON to $(docv); load it in ui.perfetto.dev or chrome://tracing.")
+
+(* The orchestrating (main-domain) lane. Pool workers occupy tracks
+   0..n-1, so the orchestrator sits on a high track id. *)
+let main_track = 1000
+
 let write_out path contents =
   match path with
   | None -> ()
@@ -196,7 +206,7 @@ let run_cmd =
                    baseline.")
   in
   let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
-      multilevel trace_out series_out manifest_out sample_dt =
+      multilevel trace_out series_out manifest_out sample_dt perfetto_out =
     let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
     Format.printf "%a@." Platform.pp platform;
     let cfg s =
@@ -222,17 +232,79 @@ let run_cmd =
           let s, observe = Obs.Sampler.create () in
           (Some s, Some (dt, observe))
     in
+    let tracer =
+      match perfetto_out with
+      | None -> Obs.Tracing.disabled
+      | Some _ -> Obs.Tracing.create ()
+    in
     let specs =
       Obs.Timer.time timer ~name:"generate" (fun () ->
-          Simulator.generate_specs (cfg Strategy.Baseline))
+          Obs.Tracing.span tracer ~cat:"phase" ~track:main_track "generate" (fun () ->
+              Simulator.generate_specs (cfg Strategy.Baseline)))
     in
-    let baseline =
-      Obs.Timer.time timer ~name:"baseline" (fun () ->
-          Simulator.run ~specs (cfg Strategy.Baseline))
-    in
-    let r =
-      Obs.Timer.time timer ~name:"simulate" (fun () ->
-          Simulator.run ~specs ?trace ?hooks ?sample cfg_s)
+    let baseline, r =
+      if not (Obs.Tracing.is_enabled tracer) then
+        (* The untraced path is byte-for-byte the pre-tracing sequence. *)
+        let baseline =
+          Obs.Timer.time timer ~name:"baseline" (fun () ->
+              Simulator.run ~specs (cfg Strategy.Baseline))
+        in
+        let r =
+          Obs.Timer.time timer ~name:"simulate" (fun () ->
+              Simulator.run ~specs ?trace ?hooks ?sample cfg_s)
+        in
+        (baseline, r)
+      else begin
+        (* Traced: baseline and strategy run as two tasks of an observed
+           pool, so the trace shows genuine per-worker lanes, each
+           simulation with its own engine/GC counter tracks. The Timer is
+           not thread-safe, so tasks measure themselves and record after
+           the join. *)
+        Obs.Tracing.name_track tracer ~track:main_track "main";
+        let timed name f =
+          let t0 = Unix.gettimeofday () in
+          let v =
+            Obs.Tracing.span tracer ~cat:"phase" ~track:(Pool.current_worker ()) name f
+          in
+          (v, Unix.gettimeofday () -. t0)
+        in
+        let instrumented prefix runit =
+          (* The flush emits one final counter sample once the engine
+             drains, so short runs still get counter points. *)
+          let flush = ref (fun () -> ()) in
+          let on_engine engine =
+            flush :=
+              Obs.Tracing.instrument_engine tracer ~prefix
+                ~kinds:Cocheck_sim.Ev_kind.names engine
+          in
+          let r = runit ~on_engine in
+          !flush ();
+          r
+        in
+        let (baseline, baseline_s), (r, simulate_s) =
+          Pool.with_pool ~num_domains:2
+            ~telemetry:(Obs.Tracing.pool_telemetry tracer ?registry ())
+            (fun pool ->
+              let fb =
+                Pool.async pool (fun () ->
+                    timed "baseline" (fun () ->
+                        instrumented "baseline" (fun ~on_engine ->
+                            Simulator.run ~specs ~on_engine (cfg Strategy.Baseline))))
+              in
+              let fr =
+                Pool.async pool (fun () ->
+                    timed "simulate" (fun () ->
+                        instrumented (Strategy.name strategy) (fun ~on_engine ->
+                            Simulator.run ~specs ?trace ?hooks ?sample ~on_engine cfg_s)))
+              in
+              let b = Pool.await fb in
+              let r = Pool.await fr in
+              (b, r))
+        in
+        Obs.Timer.record timer ~name:"baseline" ~seconds:baseline_s;
+        Obs.Timer.record timer ~name:"simulate" ~seconds:simulate_s;
+        (baseline, r)
+      end
     in
     Format.printf "strategy: %s@." (Strategy.name strategy);
     Format.printf "waste ratio: %.4f (efficiency %.4f)@."
@@ -288,18 +360,25 @@ let run_cmd =
           (Obs.Manifest.make ~cfg:cfg_s ~timer ~result:r
              ?registry ~extra ());
         Format.printf "wrote %s@." path)
-      manifest_out
+      manifest_out;
+    Option.iter
+      (fun path ->
+        Obs.Tracing.write ~path ~process_name:"simctl run" tracer;
+        let dropped = Obs.Tracing.dropped tracer in
+        Format.printf "wrote %s (%d events%s)@." path (Obs.Tracing.length tracer)
+          (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else ""))
+      perfetto_out
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a single simulation and print its waste breakdown.")
     Term.(const action $ strategy_t $ bandwidth_t $ mtbf_years_t $ seed_t $ days_t
           $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t
-          $ trace_out_t $ series_out_t $ manifest_out_t $ sample_dt_t)
+          $ trace_out_t $ series_out_t $ manifest_out_t $ sample_dt_t $ perfetto_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* figures                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let with_pool domains f = Pool.with_pool ?num_domains:domains f
+let with_pool ?telemetry domains f = Pool.with_pool ?num_domains:domains ?telemetry f
 
 let manifest_dir_t =
   Arg.(value & opt (some string) None & info [ "manifest-dir" ] ~docv:"DIR"
@@ -598,6 +677,17 @@ let bench_diff_cmd =
            ~doc:"Only report benchmarks whose delta exceeds $(docv) percent in \
                  either direction (default 0: report everything).")
   in
+  let fail_above_t =
+    Arg.(value & opt (some float) None & info [ "fail-above" ] ~docv:"PCT"
+           ~doc:"Regression gate: exit 1 if any benchmark slowed down by more than \
+                 $(docv) percent vs the baseline. Without it the diff is purely \
+                 informational (always exits 0).")
+  in
+  let allow_t =
+    Arg.(value & opt (list ~sep:',' string) [] & info [ "allow" ] ~docv:"NAME1,NAME2"
+           ~doc:"Benchmarks exempt from --fail-above (known-noisy or intentionally \
+                 slowed; still reported in the diff).")
+  in
   let load path =
     let ic = open_in_bin path in
     let s = really_input_string ic (in_channel_length ic) in
@@ -650,19 +740,51 @@ let bench_diff_cmd =
         names
     end
   in
-  let action old_path new_path threshold =
+  (* Benchmarks present in both files, slowed by more than [pct] percent
+     and not allowlisted. New/vanished benchmarks never gate: adding a
+     bench must not break CI. *)
+  let regressions ~pct ~allow old_rows new_rows =
+    List.filter_map
+      (fun (name, o) ->
+        if List.mem name allow then None
+        else
+          match List.assoc_opt name new_rows with
+          | Some n when o > 0.0 ->
+              let delta = (n -. o) /. o *. 100.0 in
+              if delta > pct then Some (name, delta) else None
+          | _ -> None)
+      old_rows
+  in
+  let action old_path new_path threshold fail_above allow =
     let jo = load old_path and jn = load new_path in
     Format.printf "bench-diff: %s -> %s@." old_path new_path;
     diff_section ~title:"micro (Bechamel OLS estimate)" ~unit:"ns/run" ~threshold
       (micro_rows jo) (micro_rows jn);
     diff_section ~title:"end-to-end (one shot)" ~unit:"s" ~threshold (e2e_rows jo)
-      (e2e_rows jn)
+      (e2e_rows jn);
+    match fail_above with
+    | None -> ()
+    | Some pct ->
+        let bad =
+          regressions ~pct ~allow (micro_rows jo) (micro_rows jn)
+          @ regressions ~pct ~allow (e2e_rows jo) (e2e_rows jn)
+        in
+        if bad = [] then Format.printf "@.gate: no benchmark slowed by more than %g%%@." pct
+        else begin
+          Format.printf "@.gate: FAIL — slower than baseline by more than %g%%:@." pct;
+          List.iter
+            (fun (name, delta) -> Format.printf "  %-42s +%.1f%%@." name delta)
+            bad;
+          exit 1
+        end
   in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:"Report per-benchmark deltas between two BENCH_*.json files written by \
-             bench/main.exe (informational; always exits 0).")
-    Term.(const action $ old_t $ new_t $ threshold_t)
+             bench/main.exe. Informational by default; with --fail-above it becomes \
+             a CI regression gate (exit 1 on any benchmark slower than the baseline \
+             by more than the given percentage, minus the --allow list).")
+    Term.(const action $ old_t $ new_t $ threshold_t $ fail_above_t $ allow_t)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                             *)
@@ -720,8 +842,23 @@ let campaign_run_cmd =
            ~doc:"Write the resolved campaign spec as JSON to $(docv) — the file \
                  round-trips exactly and can seed later runs via --spec.")
   in
+  let progress_out_t =
+    Arg.(value & opt (some string) None & info [ "progress" ] ~docv:"FILE"
+           ~doc:"Stream live progress to $(docv) as JSONL: one line per completed \
+                 (cell, strategy, replication) point — tagged cached or simulated — \
+                 and a final end line. Tail it with `simctl campaign status \
+                 --progress $(docv) --follow`.")
+  in
+  let campaign_trace_out_t =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Profile the campaign execution — per-worker task/idle lanes, one \
+                 span per (cell, replication) with nested baseline/simulate child \
+                 spans — and write Chrome trace_event JSON to $(docv) for \
+                 ui.perfetto.dev.")
+  in
   let action spec_file name axis values bandwidth mtbf_years prospective strategies reps
-      seed days failure_dist alpha bb multilevel store save_spec out domains =
+      seed days failure_dist alpha bb multilevel store save_spec out domains progress
+      trace_out =
     let spec =
       match spec_file with
       | Some path -> load_spec path
@@ -746,8 +883,28 @@ let campaign_run_cmd =
         E.Spec.save ~path spec;
         Format.printf "wrote %s@." path)
       save_spec;
-    with_pool domains (fun pool ->
-        let o = E.Runner.run ~pool ?store spec in
+    let tracer =
+      match trace_out with
+      | None -> Obs.Tracing.disabled
+      | Some _ -> Obs.Tracing.create ()
+    in
+    let telemetry =
+      if Obs.Tracing.is_enabled tracer then Some (Obs.Tracing.pool_telemetry tracer ())
+      else None
+    in
+    let progress_oc = Option.map open_out progress in
+    let on_progress =
+      Option.map
+        (fun oc ev ->
+          output_string oc (Obs.Json.to_string (E.Runner.progress_to_json ev));
+          output_char oc '\n';
+          (* One flush per line keeps the stream consumable by
+             `campaign status --follow` while the campaign runs. *)
+          flush oc)
+        progress_oc
+    in
+    with_pool ?telemetry domains (fun pool ->
+        let o = E.Runner.run ~pool ?store ~tracer ?on_progress spec in
         let cells, strategies, reps = campaign_counts spec in
         Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
           spec.E.Spec.name (E.Spec.digest spec) cells strategies reps;
@@ -762,7 +919,14 @@ let campaign_run_cmd =
                   (Strategy.name r.E.Runner.strategy)
                   r.E.Runner.stats.Cocheck_util.Stats.mean)
               o.E.Runner.results
-        | _ -> finish_figure out (E.Runner.to_figure ~id:spec.E.Spec.name o))
+        | _ -> finish_figure out (E.Runner.to_figure ~id:spec.E.Spec.name o));
+    Option.iter close_out progress_oc;
+    Option.iter (fun path -> Format.printf "wrote %s@." path) progress;
+    Option.iter
+      (fun path ->
+        Obs.Tracing.write ~path ~process_name:"simctl campaign" tracer;
+        Format.printf "wrote %s (%d events)@." path (Obs.Tracing.length tracer))
+      trace_out
   in
   Cmd.v
     (Cmd.info "run"
@@ -771,31 +935,113 @@ let campaign_run_cmd =
     Term.(const action $ spec_file_t $ name_t $ axis_t $ values_t $ bandwidth_t
           $ mtbf_years_t $ prospective_t $ strategies_t $ reps_t 100 $ seed_t $ days_t
           $ failure_dist_opt_t $ alpha_opt_t $ bb_t $ multilevel_t $ store_t
-          $ save_spec_t $ out_t $ domains_t)
+          $ save_spec_t $ out_t $ domains_t $ progress_out_t $ campaign_trace_out_t)
 
 let campaign_status_cmd =
-  let spec_req_t =
-    Arg.(required & opt (some string) None & info [ "spec" ] ~docv:"FILE"
-           ~doc:"Campaign spec JSON file.")
+  let spec_opt_t =
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE"
+           ~doc:"Campaign spec JSON file (with --store: inspect the results store).")
   in
-  let store_req_t =
-    Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
-           ~doc:"Results store directory to inspect.")
+  let store_opt_t =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Results store directory to inspect (with --spec).")
   in
-  let action spec_file store =
-    let spec = load_spec spec_file in
-    let p = E.Runner.status ~store spec in
-    let cells, strategies, reps = campaign_counts spec in
-    Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
-      spec.E.Spec.name (E.Spec.digest spec) cells strategies reps;
-    Format.printf "records: total=%d cached=%d missing=%d@." p.E.Runner.total
-      p.E.Runner.cached p.E.Runner.missing
+  let progress_t =
+    Arg.(value & opt (some string) None & info [ "progress" ] ~docv:"FILE"
+           ~doc:"Render the live JSONL progress stream written by `campaign run \
+                 --progress $(docv)` instead of inspecting a store.")
+  in
+  let follow_t =
+    Arg.(value & flag & info [ "follow"; "f" ]
+           ~doc:"With --progress: keep tailing (waiting for the file to appear if \
+                 necessary) until the campaign's end event arrives.")
+  in
+  let render_event = function
+    | E.Runner.Point p ->
+        Format.printf "[%4d/%d] %8.1fs  cell %-3d rep %-3d %-20s %s@." p.done_points
+          p.total_points p.elapsed_s p.cell p.rep p.strategy
+          (match p.source with `Cached -> "cached" | `Simulated -> "simulated")
+    | E.Runner.Finished f ->
+        Format.printf "done: %d points in %.1fs (%d simulated, %d baselines, %d cached)@."
+          f.total_points f.elapsed_s f.simulated f.baselines f.loaded
+  in
+  (* Tail the JSONL stream byte-wise: [input_line] would swallow a
+     half-written final line, losing bytes on the next poll. A channel at
+     EOF on a regular file retries the read on the next call, so polling
+     [input_char] after [End_of_file] picks up appended data. *)
+  let follow_progress ~follow path =
+    let rec wait_for_file () =
+      if Sys.file_exists path then true
+      else if follow then begin
+        Unix.sleepf 0.2;
+        wait_for_file ()
+      end
+      else false
+    in
+    if not (wait_for_file ()) then begin
+      Format.eprintf "error: no progress file %s (is the campaign running with --progress?)@."
+        path;
+      exit 1
+    end;
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let buf = Buffer.create 256 in
+        let finished = ref false in
+        let handle line =
+          match Obs.Json.of_string line with
+          | Error _ -> ()
+          | Ok j -> (
+              match E.Runner.progress_of_json j with
+              | None -> ()
+              | Some ev ->
+                  render_event ev;
+                  (match ev with
+                  | E.Runner.Finished _ -> finished := true
+                  | E.Runner.Point _ -> ()))
+        in
+        let rec loop () =
+          match input_char ic with
+          | '\n' ->
+              handle (Buffer.contents buf);
+              Buffer.clear buf;
+              if not !finished then loop ()
+          | c ->
+              Buffer.add_char buf c;
+              loop ()
+          | exception End_of_file ->
+              if follow && not !finished then begin
+                Unix.sleepf 0.2;
+                loop ()
+              end
+        in
+        loop ())
+  in
+  let action spec_file store progress follow =
+    match progress with
+    | Some path -> follow_progress ~follow path
+    | None -> (
+        match (spec_file, store) with
+        | Some spec_file, Some store ->
+            let spec = load_spec spec_file in
+            let p = E.Runner.status ~store spec in
+            let cells, strategies, reps = campaign_counts spec in
+            Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
+              spec.E.Spec.name (E.Spec.digest spec) cells strategies reps;
+            Format.printf "records: total=%d cached=%d missing=%d@." p.E.Runner.total
+              p.E.Runner.cached p.E.Runner.missing
+        | _ ->
+            Format.eprintf
+              "error: pass either --progress FILE, or both --spec and --store@.";
+            exit 2)
   in
   Cmd.v
     (Cmd.info "status"
-       ~doc:"Report how much of a campaign the results store already covers, without \
-             simulating anything.")
-    Term.(const action $ spec_req_t $ store_req_t)
+       ~doc:"Report how much of a campaign the results store already covers (--spec + \
+             --store), or render/tail the live progress stream of a running campaign \
+             (--progress [--follow]).")
+    Term.(const action $ spec_opt_t $ store_opt_t $ progress_t $ follow_t)
 
 let campaign_cmd =
   Cmd.group

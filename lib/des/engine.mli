@@ -14,11 +14,14 @@ val now : t -> float
 (** Current simulation time: the timestamp of the event being processed, or
     of the last processed one. Never decreases. *)
 
-val schedule_at : t -> time:float -> (t -> unit) -> handle
+val schedule_at : t -> ?kind:int -> time:float -> (t -> unit) -> handle
 (** Schedule a callback at absolute [time]. Scheduling in the past (before
-    {!now}) raises [Invalid_argument]. *)
+    {!now}) raises [Invalid_argument]. [kind] (default 0) is a small
+    integer the scheduler carries with the event; it only matters when
+    {!attach_stats} has installed counters, which then attribute
+    schedule/fire/cancel to the kind — the event loop itself ignores it. *)
 
-val schedule_after : t -> delay:float -> (t -> unit) -> handle
+val schedule_after : t -> ?kind:int -> delay:float -> (t -> unit) -> handle
 (** [schedule_after t ~delay f] = [schedule_at t ~time:(now t +. delay) f].
     Negative delays raise [Invalid_argument]. *)
 
@@ -48,3 +51,36 @@ val run : ?until:float -> t -> unit
 
 val events_processed : t -> int
 val queue_length : t -> int
+
+(** {2 Event-churn counters}
+
+    Opt-in telemetry for the exascale profiling work: which event kinds
+    dominate scheduling, firing and cancellation. When no stats are
+    attached (the default) the event loop pays exactly one [None] branch
+    per operation and allocates nothing — the zero-cost-when-off pattern
+    of the simulator hooks. *)
+
+type stats
+
+val attach_stats :
+  t ->
+  kinds:string array ->
+  ?tick_every:int ->
+  ?on_tick:(t -> unit) ->
+  unit ->
+  stats
+(** Install counters on the engine. [kinds] names the kind indices used by
+    the [?kind] argument of the schedule functions; out-of-range kinds
+    fold into slot 0. [on_tick] fires inside {!step} after every
+    [tick_every] processed events (default: never) — the tracing layer
+    hangs periodic counter-track and GC sampling off it. Raises
+    [Invalid_argument] on an empty [kinds] or non-positive [tick_every]. *)
+
+val stats : t -> stats option
+val stats_scheduled : stats -> int
+val stats_fired : stats -> int
+val stats_cancelled : stats -> int
+val stats_rescheduled : stats -> int
+
+val stats_by_kind : stats -> (string * int * int * int) list
+(** Per kind, in [kinds] order: (name, scheduled, fired, cancelled). *)

@@ -8,6 +8,8 @@ module Apex = Cocheck_model.Apex
 module Simulator = Cocheck_sim.Simulator
 module Json = Cocheck_obs.Json
 module Manifest = Cocheck_obs.Manifest
+module Tracing = Cocheck_obs.Tracing
+module Span = Cocheck_obs.Span
 
 type cell_result = {
   x : float option;
@@ -26,6 +28,93 @@ type outcome = {
 }
 
 type progress = { total : int; cached : int; missing : int }
+
+(* ------------------------------------------------------------------ *)
+(* Live progress events                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type progress_event =
+  | Point of {
+      seq : int;
+      elapsed_s : float;
+      cell : int;
+      x : float option;
+      rep : int;
+      strategy : string;
+      source : [ `Cached | `Simulated ];
+      done_points : int;
+      total_points : int;
+    }
+  | Finished of {
+      elapsed_s : float;
+      simulated : int;
+      baselines : int;
+      loaded : int;
+      total_points : int;
+    }
+
+let progress_to_json = function
+  | Point p ->
+      Json.Obj
+        [
+          ("event", Json.String "point");
+          ("seq", Json.Int p.seq);
+          ("elapsed_s", Json.Float p.elapsed_s);
+          ("cell", Json.Int p.cell);
+          ("x", (match p.x with None -> Json.Null | Some x -> Json.Float x));
+          ("rep", Json.Int p.rep);
+          ("strategy", Json.String p.strategy);
+          ( "source",
+            Json.String (match p.source with `Cached -> "cached" | `Simulated -> "simulated")
+          );
+          ("done", Json.Int p.done_points);
+          ("total", Json.Int p.total_points);
+        ]
+  | Finished f ->
+      Json.Obj
+        [
+          ("event", Json.String "end");
+          ("elapsed_s", Json.Float f.elapsed_s);
+          ("simulated", Json.Int f.simulated);
+          ("baselines", Json.Int f.baselines);
+          ("loaded", Json.Int f.loaded);
+          ("total", Json.Int f.total_points);
+        ]
+
+let progress_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let flt k = Option.bind (Json.member k j) Json.to_float_opt in
+  match str "event" with
+  | Some "point" -> (
+      match (int "seq", flt "elapsed_s", int "cell", int "rep", str "strategy",
+             str "source", int "done", int "total")
+      with
+      | ( Some seq, Some elapsed_s, Some cell, Some rep, Some strategy,
+          Some source, Some done_points, Some total_points ) -> (
+          match source with
+          | "cached" | "simulated" ->
+              Some
+                (Point
+                   {
+                     seq;
+                     elapsed_s;
+                     cell;
+                     x = Option.bind (Json.member "x" j) Json.to_float_opt;
+                     rep;
+                     strategy;
+                     source = (if source = "cached" then `Cached else `Simulated);
+                     done_points;
+                     total_points;
+                   })
+          | _ -> None)
+      | _ -> None)
+  | Some "end" -> (
+      match (flt "elapsed_s", int "simulated", int "baselines", int "loaded", int "total") with
+      | Some elapsed_s, Some simulated, Some baselines, Some loaded, Some total_points ->
+          Some (Finished { elapsed_s; simulated; baselines; loaded; total_points })
+      | _ -> None)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Results store                                                        *)
@@ -82,21 +171,52 @@ let write_record ~store ~spec ~cell ~strategy ~rep ~key ratio =
 (* Execution                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ~pool ?store spec =
+let run ~pool ?store ?(tracer = Tracing.disabled) ?on_progress spec =
   Spec.validate spec;
   Option.iter ensure_dir store;
   let cells = Array.of_list (Spec.cells spec) in
   let strategies = Array.of_list spec.Spec.strategies in
   let n_s = Array.length strategies in
   let reps = spec.Spec.reps in
+  let total_points = Array.length cells * n_s * reps in
   let simulated = Atomic.make 0 in
   let baselines = Atomic.make 0 in
   let loaded = Atomic.make 0 in
+  (* Progress emission is serialized under one mutex so JSONL consumers
+     see monotone [seq] / [done] counters even with many workers. *)
+  let started = Unix.gettimeofday () in
+  let progress_mutex = Mutex.create () in
+  let seq = ref 0 in
+  let done_points = ref 0 in
+  let emit_point ~ci ~x ~rep ~strategy ~source =
+    match on_progress with
+    | None -> ()
+    | Some f ->
+        Mutex.lock progress_mutex;
+        incr seq;
+        incr done_points;
+        let ev =
+          Point
+            {
+              seq = !seq;
+              elapsed_s = Unix.gettimeofday () -. started;
+              cell = ci;
+              x;
+              rep;
+              strategy = Strategy.name strategy;
+              source;
+              done_points = !done_points;
+              total_points;
+            }
+        in
+        Fun.protect ~finally:(fun () -> Mutex.unlock progress_mutex) (fun () -> f ev)
+  in
   (* One task per (cell, replication): the baseline run and the job specs
      are shared by every strategy of the replication, exactly as in the
      paper's protocol. *)
   let task idx =
-    let cell = cells.(idx / reps) and rep = idx mod reps in
+    let ci = idx / reps in
+    let cell = cells.(ci) and rep = idx mod reps in
     let keys =
       Array.map (fun strategy -> Spec.cell_key spec ~cell ~strategy ~rep) strategies
     in
@@ -107,30 +227,72 @@ let run ~pool ?store spec =
     in
     let hits = Array.fold_left (fun n c -> if c = None then n else n + 1) 0 cached in
     if hits > 0 then ignore (Atomic.fetch_and_add loaded hits);
-    if hits = n_s then Array.map Option.get cached
-    else begin
-      let cfg strategy = Spec.config spec ~cell ~strategy ~rep in
-      let baseline_cfg = cfg Strategy.Baseline in
-      let job_specs = Simulator.generate_specs baseline_cfg in
-      let baseline = Simulator.run ~specs:job_specs baseline_cfg in
-      Atomic.incr baselines;
-      Array.mapi
-        (fun i strategy ->
-          match cached.(i) with
-          | Some ratio -> ratio
-          | None ->
-              let r = Simulator.run ~specs:job_specs (cfg strategy) in
-              let ratio = Simulator.waste_ratio ~strategy:r ~baseline in
-              Atomic.incr simulated;
-              Option.iter
-                (fun store ->
-                  write_record ~store ~spec ~cell ~strategy ~rep ~key:keys.(i) ratio)
-                store;
-              ratio)
-        strategies
-    end
+    let track = Pool.current_worker () in
+    let span_args =
+      [
+        ("cell", Span.Num (float_of_int ci));
+        ("rep", Span.Num (float_of_int rep));
+        ( "source",
+          Span.Str (if hits = n_s then "cached" else "simulated") );
+      ]
+    in
+    Tracing.span tracer ~cat:"campaign" ~track ~args:span_args
+      (Printf.sprintf "cell %d rep %d" ci rep)
+      (fun () ->
+        if hits = n_s then begin
+          Array.iter
+            (fun strategy -> emit_point ~ci ~x:cell.Spec.x ~rep ~strategy ~source:`Cached)
+            strategies;
+          Array.map Option.get cached
+        end
+        else begin
+          let cfg strategy = Spec.config spec ~cell ~strategy ~rep in
+          let baseline_cfg = cfg Strategy.Baseline in
+          let job_specs =
+            Tracing.span tracer ~cat:"campaign" ~track "generate" (fun () ->
+                Simulator.generate_specs baseline_cfg)
+          in
+          let baseline =
+            Tracing.span tracer ~cat:"campaign" ~track "baseline" (fun () ->
+                Simulator.run ~specs:job_specs baseline_cfg)
+          in
+          Atomic.incr baselines;
+          Array.mapi
+            (fun i strategy ->
+              match cached.(i) with
+              | Some ratio ->
+                  emit_point ~ci ~x:cell.Spec.x ~rep ~strategy ~source:`Cached;
+                  ratio
+              | None ->
+                  let r =
+                    Tracing.span tracer ~cat:"campaign" ~track
+                      ("sim:" ^ Strategy.name strategy)
+                      (fun () -> Simulator.run ~specs:job_specs (cfg strategy))
+                  in
+                  let ratio = Simulator.waste_ratio ~strategy:r ~baseline in
+                  Atomic.incr simulated;
+                  Option.iter
+                    (fun store ->
+                      write_record ~store ~spec ~cell ~strategy ~rep ~key:keys.(i) ratio)
+                    store;
+                  emit_point ~ci ~x:cell.Spec.x ~rep ~strategy ~source:`Simulated;
+                  ratio)
+            strategies
+        end)
   in
   let rows = Pool.init_array pool (Array.length cells * reps) task in
+  (match on_progress with
+  | None -> ()
+  | Some f ->
+      f
+        (Finished
+           {
+             elapsed_s = Unix.gettimeofday () -. started;
+             simulated = Atomic.get simulated;
+             baselines = Atomic.get baselines;
+             loaded = Atomic.get loaded;
+             total_points;
+           }));
   let results =
     List.concat_map
       (fun ci ->

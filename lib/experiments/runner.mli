@@ -36,13 +36,58 @@ type outcome = {
   loaded : int;  (** results loaded from the store instead of simulated *)
 }
 
-val run : pool:Cocheck_parallel.Pool.t -> ?store:string -> Spec.t -> outcome
+type progress_event =
+  | Point of {
+      seq : int;  (** 1-based emission order, monotone across workers *)
+      elapsed_s : float;  (** wall seconds since [run] started *)
+      cell : int;  (** cell index in axis order *)
+      x : float option;
+      rep : int;
+      strategy : string;
+      source : [ `Cached | `Simulated ];
+      done_points : int;  (** points completed so far, including this one *)
+      total_points : int;
+    }
+  | Finished of {
+      elapsed_s : float;
+      simulated : int;
+      baselines : int;
+      loaded : int;
+      total_points : int;
+    }
+(** One line of live campaign progress: a [Point] per completed
+    (cell, strategy, replication) and a terminal [Finished]. Events are
+    emitted under a mutex, so [seq] and [done_points] are monotone even
+    with many pool workers. *)
+
+val progress_to_json : progress_event -> Cocheck_obs.Json.t
+(** One JSONL-ready object ([{"event":"point",...}] / [{"event":"end",...}]). *)
+
+val progress_of_json : Cocheck_obs.Json.t -> progress_event option
+(** Inverse of {!progress_to_json}; [None] on unknown or malformed
+    events (forward compatibility for [status --follow]). *)
+
+val run :
+  pool:Cocheck_parallel.Pool.t ->
+  ?store:string ->
+  ?tracer:Cocheck_obs.Tracing.t ->
+  ?on_progress:(progress_event -> unit) ->
+  Spec.t ->
+  outcome
 (** Execute the campaign. Without [store], everything is simulated in
     memory. With [store] (created if missing), each completed
     (cell, strategy, replication) immediately persists one record, cached
     records are loaded instead of re-simulated, and a replication whose
     strategies are all cached skips its baseline run too — a fully warm
-    store performs {e zero} simulator calls. *)
+    store performs {e zero} simulator calls.
+
+    [tracer] (default {!Cocheck_obs.Tracing.disabled}) records one span
+    per (cell, replication) task on the executing worker's track — tagged
+    with a [source] arg of ["cached"] or ["simulated"] — with nested
+    [generate] / [baseline] / [sim:<strategy>] child spans when the point
+    actually simulates. [on_progress] receives every {!progress_event},
+    serialized; it runs on worker domains, so keep it cheap (e.g. write
+    one JSONL line). *)
 
 type progress = { total : int; cached : int; missing : int }
 

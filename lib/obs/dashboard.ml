@@ -86,6 +86,25 @@ let render ~(cfg : Config.t) ~(result : Simulator.result) ?series ?registry () =
       (match Histogram.hists reg with
       | [] -> ()
       | hs ->
+          buf_addf buf "%s\nLatency quantiles\n" rule;
+          let name_w =
+            List.fold_left
+              (fun acc h -> max acc (String.length (Histogram.name h)))
+              9 hs
+          in
+          buf_addf buf "  %-*s %8s %10s %10s %10s %10s\n" name_w "histogram" "n"
+            "p50" "p95" "p99" "max";
+          List.iter
+            (fun h ->
+              let q p =
+                match List.assoc_opt p (Histogram.quantile_summary h) with
+                | Some v -> v
+                | None -> nan
+              in
+              buf_addf buf "  %-*s %8d %10.3g %10.3g %10.3g %10.3g\n" name_w
+                (Histogram.name h) (Histogram.count h) (q 0.5) (q 0.95) (q 0.99)
+                (Histogram.max_value h))
+            hs;
           buf_addf buf "%s\nInstrumentation\n" rule;
           List.iter
             (fun h ->

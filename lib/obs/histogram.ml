@@ -103,11 +103,15 @@ let quantile t q =
     Float.min t.vmax (Float.max t.vmin !result)
   end
 
+let quantile_summary t =
+  List.map (fun q -> (q, quantile t q)) [ 0.5; 0.95; 0.99 ]
+
 let render ?(max_rows = 12) t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "%s (%s): n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n" t.name
-       t.unit_label t.n (mean t) (quantile t 0.5) (quantile t 0.99) t.vmax);
+    (Printf.sprintf "%s (%s): n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g\n"
+       t.name t.unit_label t.n (mean t) (quantile t 0.5) (quantile t 0.95)
+       (quantile t 0.99) t.vmax);
   if t.n > 0 then begin
     let rows = ref [] in
     if t.under > 0 then rows := (Printf.sprintf "< %.3g" t.lo, t.under) :: !rows;
@@ -165,6 +169,7 @@ let to_json t =
       ("max", Json.Float t.vmax);
       ("p50", Json.Float (quantile t 0.5));
       ("p90", Json.Float (quantile t 0.9));
+      ("p95", Json.Float (quantile t 0.95));
       ("p99", Json.Float (quantile t 0.99));
       ("buckets", Json.List buckets);
     ]

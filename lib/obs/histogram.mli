@@ -45,9 +45,13 @@ val quantile : t -> float -> float
     bucket holding the target rank; underflow resolves to the observed
     minimum, overflow to the observed maximum. [nan] when empty. *)
 
+val quantile_summary : t -> (float * float) list
+(** The standard latency quantiles [(0.5, p50); (0.95, p95); (0.99, p99)]
+    — what the dashboard's summary table and alerting thresholds read. *)
+
 val render : ?max_rows:int -> t -> string
 (** ASCII bar chart of the populated buckets (up to [max_rows], default 12,
-    keeping the most populated), with count, mean, p50/p99 header. *)
+    keeping the most populated), with count, mean, p50/p95/p99 header. *)
 
 val to_json : t -> Json.t
 

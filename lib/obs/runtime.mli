@@ -1,0 +1,68 @@
+(** Runtime self-observation: GC delta probes and a process-level metrics
+    registry.
+
+    The exascale kernel work needs to attribute event-churn cost — how many
+    minor words the engine allocates per million events, whether promotions
+    grow with pending-queue depth — before optimizing it. {!gc_sample}
+    reads [Gc.quick_stat] (O(1), no heap walk) and returns the delta since
+    the previous sample; {!Tracing.instrument_engine} emits these as
+    Perfetto counter tracks on the engine's tick hook. *)
+
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;  (** absolute major-heap size at the sample, in words *)
+}
+(** Differences since the previous sample of the same probe (except
+    [heap_words]). *)
+
+type gc_probe
+
+val gc_probe : unit -> gc_probe
+(** A probe whose baseline is the current [Gc.quick_stat]. Probes are
+    per-domain state — sample a probe only from the domain that created
+    it. *)
+
+val gc_sample : gc_probe -> gc_delta
+(** Delta since the last call (or creation), advancing the baseline. *)
+
+val gc_delta_values : gc_delta -> (string * float) list
+(** The delta as counter-track series (allocation and collection fields),
+    ready for {!Span.Counter}. *)
+
+(** {2 Metrics registry} — named monotone counters and gauges, mutex
+    protected so pool workers can bump them concurrently. Distinct from
+    {!Histogram}'s registry: these are single scalar process metrics
+    (events fired, cells simulated, store hits), not distributions. *)
+
+type registry
+type counter
+type gauge
+
+val registry : unit -> registry
+
+val counter : registry -> string -> counter
+(** Find-or-create. Raises [Invalid_argument] if the name is already a
+    gauge. *)
+
+val gauge : registry -> string -> gauge
+(** Find-or-create. Raises [Invalid_argument] if the name is already a
+    counter. *)
+
+val incr : registry -> counter -> ?by:float -> unit -> unit
+val set : registry -> gauge -> float -> unit
+
+val value : counter -> float
+(** Unsynchronised read (exact once writers are quiescent). *)
+
+val gauge_value : gauge -> float
+val metric_name : counter -> string
+
+val snapshot : registry -> (string * float) list
+(** All metrics in creation order, read under the registry lock. *)
+
+val to_json : registry -> Json.t

@@ -1,0 +1,182 @@
+type arg = Str of string | Num of float
+
+type event =
+  | Slice of {
+      name : string;
+      cat : string;
+      track : int;
+      ts_us : float;
+      dur_us : float;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      track : int;
+      ts_us : float;
+      args : (string * arg) list;
+    }
+  | Counter of { name : string; ts_us : float; values : (string * float) list }
+  | Track_name of { track : int; name : string }
+
+let ts_us = function
+  | Slice s -> s.ts_us
+  | Instant i -> i.ts_us
+  | Counter c -> c.ts_us
+  | Track_name _ -> 0.0
+
+let track = function
+  | Slice s -> Some s.track
+  | Instant i -> Some i.track
+  | Counter _ -> None
+  | Track_name t -> Some t.track
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event / Perfetto encoding                               *)
+(* ------------------------------------------------------------------ *)
+
+let arg_to_json = function Str s -> Json.String s | Num v -> Json.Float v
+
+let args_to_json args = Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)
+
+(* The JSON-array-of-objects flavour of the trace_event format: each event
+   is one object with a "ph" phase letter. Perfetto and chrome://tracing
+   both load it directly. Durations use the "X" complete-event phase (one
+   object instead of a B/E pair), counters the "C" phase, track names the
+   "M" thread_name metadata record. *)
+let to_trace_event ~pid = function
+  | Slice { name; cat; track; ts_us; dur_us; args } ->
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("cat", Json.String cat);
+           ("ph", Json.String "X");
+           ("ts", Json.Float ts_us);
+           ("dur", Json.Float dur_us);
+           ("pid", Json.Int pid);
+           ("tid", Json.Int track);
+         ]
+        @ if args = [] then [] else [ ("args", args_to_json args) ])
+  | Instant { name; cat; track; ts_us; args } ->
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("cat", Json.String cat);
+           ("ph", Json.String "i");
+           ("ts", Json.Float ts_us);
+           ("s", Json.String "t");
+           ("pid", Json.Int pid);
+           ("tid", Json.Int track);
+         ]
+        @ if args = [] then [] else [ ("args", args_to_json args) ])
+  | Counter { name; ts_us; values } ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("ph", Json.String "C");
+          ("ts", Json.Float ts_us);
+          ("pid", Json.Int pid);
+          ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values));
+        ]
+  | Track_name { track; name } ->
+      Json.Obj
+        [
+          ("name", Json.String "thread_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int pid);
+          ("tid", Json.Int track);
+          ("args", Json.Obj [ ("name", Json.String name) ]);
+        ]
+
+let args_of_json j =
+  match j with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.String s -> Some (k, Str s)
+          | Json.Int _ | Json.Float _ ->
+              Option.map (fun f -> (k, Num f)) (Json.to_float_opt v)
+          | _ -> None)
+        kvs
+  | _ -> []
+
+let of_trace_event j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let num k = Option.bind (Json.member k j) Json.to_float_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match str "ph" with
+  | Some "X" -> (
+      match (str "name", num "ts", num "dur", int "tid") with
+      | Some name, Some ts_us, Some dur_us, Some track ->
+          Some
+            (Slice
+               {
+                 name;
+                 cat = Option.value (str "cat") ~default:"";
+                 track;
+                 ts_us;
+                 dur_us;
+                 args = args_of_json (Json.member "args" j);
+               })
+      | _ -> None)
+  | Some "i" -> (
+      match (str "name", num "ts", int "tid") with
+      | Some name, Some ts_us, Some track ->
+          Some
+            (Instant
+               {
+                 name;
+                 cat = Option.value (str "cat") ~default:"";
+                 track;
+                 ts_us;
+                 args = args_of_json (Json.member "args" j);
+               })
+      | _ -> None)
+  | Some "C" -> (
+      match (str "name", num "ts") with
+      | Some name, Some ts_us ->
+          let values =
+            match Json.member "args" j with
+            | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v))
+                  kvs
+            | _ -> []
+          in
+          Some (Counter { name; ts_us; values })
+      | _ -> None)
+  | Some "M" -> (
+      match (str "name", int "tid") with
+      | Some "thread_name", Some track -> (
+          match args_of_json (Json.member "args" j) with
+          | [ ("name", Str name) ] -> Some (Track_name { track; name })
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let export ?(pid = 1) ?process_name events =
+  let meta =
+    match process_name with
+    | None -> []
+    | Some name ->
+        [
+          Json.Obj
+            [
+              ("name", Json.String "process_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int pid);
+              ("args", Json.Obj [ ("name", Json.String name) ]);
+            ];
+        ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map (to_trace_event ~pid) events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let of_export j =
+  match Option.bind (Json.member "traceEvents" j) Json.to_list_opt with
+  | None -> Error "missing traceEvents array"
+  | Some evs -> Ok (List.filter_map of_trace_event evs)

@@ -1,0 +1,57 @@
+(** The trace-event data model and its Chrome [trace_event] / Perfetto
+    encoding.
+
+    A trace is a list of timestamped events on integer {e tracks} (rendered
+    as horizontal lanes — one per domain, by convention worker [i] of the
+    pool is track [i] and the orchestrating domain a high track id).
+    Timestamps are microseconds of wall-clock time relative to the owning
+    tracer's origin. This module is pure data + encoding; the mutable
+    recording side lives in {!Tracing}. *)
+
+type arg = Str of string | Num of float
+(** Span/instant annotation values (the ["args"] object). *)
+
+type event =
+  | Slice of {
+      name : string;
+      cat : string;
+      track : int;
+      ts_us : float;  (** start, µs since the tracer origin *)
+      dur_us : float;
+      args : (string * arg) list;
+    }  (** A duration span — encoded as a ["ph":"X"] complete event. *)
+  | Instant of {
+      name : string;
+      cat : string;
+      track : int;
+      ts_us : float;
+      args : (string * arg) list;
+    }  (** A point event (["ph":"i"], thread scope). *)
+  | Counter of { name : string; ts_us : float; values : (string * float) list }
+      (** A sample of one counter track's series (["ph":"C"]); multiple
+          values stack in the same lane. *)
+  | Track_name of { track : int; name : string }
+      (** Lane label (["ph":"M"] [thread_name] metadata). *)
+
+val ts_us : event -> float
+(** The event's timestamp ([0] for {!Track_name}). *)
+
+val track : event -> int option
+(** The event's track; [None] for counters (process-scoped). *)
+
+val to_trace_event : pid:int -> event -> Json.t
+(** One trace_event object. *)
+
+val of_trace_event : Json.t -> event option
+(** Inverse of {!to_trace_event} for the four phases above; [None] on any
+    other phase or malformed object. *)
+
+val export : ?pid:int -> ?process_name:string -> event list -> Json.t
+(** The loadable document: [{"traceEvents": [...], "displayTimeUnit":
+    "ms"}], with an optional [process_name] metadata record first.
+    [pid] defaults to 1. *)
+
+val of_export : Json.t -> (event list, string) result
+(** Decode a document written by {!export}, dropping events
+    {!of_trace_event} does not recognise (such as the [process_name]
+    record). *)

@@ -1,11 +1,23 @@
 type task = unit -> unit
 
+type telemetry = {
+  on_task : worker:int -> queued_s:float -> ran_s:float -> unit;
+  on_idle : worker:int -> idle_s:float -> unit;
+}
+
+let no_telemetry =
+  {
+    on_task = (fun ~worker:_ ~queued_s:_ ~ran_s:_ -> ());
+    on_idle = (fun ~worker:_ ~idle_s:_ -> ());
+  }
+
 type t = {
   mutex : Mutex.t;
   has_work : Condition.t;
   queue : task Queue.t;
   mutable shutting_down : bool;
   mutable workers : unit Domain.t list;
+  telemetry : telemetry;
 }
 
 type 'a state = Pending | Done of 'a | Failed of exn
@@ -16,9 +28,18 @@ type 'a future = {
   mutable state : 'a state;
 }
 
-let worker_loop pool () =
+(* Worker indices start at 0; a sequential pool's inline execution reports
+   as worker 0 too, so traces of [num_domains = 0] runs land on one
+   deterministic lane. *)
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let current_worker () = Domain.DLS.get worker_key
+
+let worker_loop pool worker () =
+  Domain.DLS.set worker_key worker;
+  let observed = pool.telemetry != no_telemetry in
   let rec next () =
     Mutex.lock pool.mutex;
+    let wait_t0 = if observed then Unix.gettimeofday () else 0.0 in
     let rec wait () =
       if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
       else if pool.shutting_down then None
@@ -29,6 +50,8 @@ let worker_loop pool () =
     in
     let job = wait () in
     Mutex.unlock pool.mutex;
+    if observed then
+      pool.telemetry.on_idle ~worker ~idle_s:(Unix.gettimeofday () -. wait_t0);
     match job with
     | None -> ()
     | Some job ->
@@ -37,7 +60,7 @@ let worker_loop pool () =
   in
   next ()
 
-let create ?num_domains () =
+let create ?num_domains ?(telemetry = no_telemetry) () =
   let n =
     match num_domains with
     | Some n ->
@@ -52,9 +75,10 @@ let create ?num_domains () =
       queue = Queue.create ();
       shutting_down = false;
       workers = [];
+      telemetry;
     }
   in
-  pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
+  pool.workers <- List.init n (fun i -> Domain.spawn (worker_loop pool i));
   pool
 
 let num_workers t = List.length t.workers
@@ -71,6 +95,22 @@ let async t f =
     match f () with
     | v -> resolve fut (Done v)
     | exception exn -> resolve fut (Failed exn)
+  in
+  (* Only an observed pool pays for the timestamp and the wrapping
+     closure; the default path enqueues the bare runner as before. *)
+  let run =
+    if t.telemetry == no_telemetry then run
+    else begin
+      let enqueued = Unix.gettimeofday () in
+      fun () ->
+        let t0 = Unix.gettimeofday () in
+        Fun.protect
+          ~finally:(fun () ->
+            t.telemetry.on_task ~worker:(current_worker ())
+              ~queued_s:(t0 -. enqueued)
+              ~ran_s:(Unix.gettimeofday () -. t0))
+          run
+    end
   in
   Mutex.lock t.mutex;
   if t.shutting_down then begin
@@ -108,7 +148,7 @@ let await fut =
 let init_array t n f =
   if n < 0 then invalid_arg "Pool.init_array: negative length";
   if n = 0 then [||]
-  else if t.workers = [] then Array.init n f
+  else if t.workers = [] && t.telemetry == no_telemetry then Array.init n f
   else begin
     (* One future per element: simulation tasks are coarse enough that
        per-task queue overhead is negligible, and uneven task costs then
@@ -128,6 +168,6 @@ let shutdown t =
   t.workers <- [];
   List.iter Domain.join workers
 
-let with_pool ?num_domains f =
-  let pool = create ?num_domains () in
+let with_pool ?num_domains ?telemetry f =
+  let pool = create ?num_domains ?telemetry () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -11,15 +11,41 @@
 
 type t
 
-val create : ?num_domains:int -> unit -> t
+type telemetry = {
+  on_task : worker:int -> queued_s:float -> ran_s:float -> unit;
+      (** After every completed task (exceptional or not): which worker ran
+          it, how long it sat in the queue, how long it ran. *)
+  on_idle : worker:int -> idle_s:float -> unit;
+      (** After every dequeue attempt: how long the worker spent holding no
+          task (blocked on the condition variable or winning it
+          immediately). Includes the final wait that observes shutdown. *)
+}
+(** Observation hooks, called on the {e worker's} domain — implementations
+    must be thread-safe. The tracing layer turns them into per-domain
+    busy/idle lanes and a queue-wait histogram
+    ([Cocheck_obs.Tracing.pool_telemetry]). *)
+
+val no_telemetry : telemetry
+(** The sentinel default. When a pool is created with it (physical
+    equality), submission and the worker loop take exactly the
+    pre-telemetry code path: no timestamps, no wrapping closure. *)
+
+val create : ?num_domains:int -> ?telemetry:telemetry -> unit -> t
 (** [create ~num_domains ()] spawns that many worker domains (default
     [Domain.recommended_domain_count () - 1], at least 1).
     [num_domains = 0] builds a {e sequential} pool: every submission runs
     inline on the caller, which is useful for reproducible unit tests and
-    for nesting (pools must not be used from inside their own tasks). *)
+    for nesting (pools must not be used from inside their own tasks).
+    An observed sequential pool reports every task on worker 0, in
+    submission order — deterministic lanes for tests. *)
 
 val num_workers : t -> int
 (** Worker domain count; [0] for a sequential pool. *)
+
+val current_worker : unit -> int
+(** The index of the pool worker running the calling task, [0] outside any
+    worker (and for a sequential pool's inline tasks) — the lane id a task
+    should tag its own trace spans with. *)
 
 type 'a future
 
@@ -41,5 +67,5 @@ val shutdown : t -> unit
 (** Join all workers. Outstanding tasks are completed first. Idempotent.
     Submitting after shutdown raises [Invalid_argument]. *)
 
-val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+val with_pool : ?num_domains:int -> ?telemetry:telemetry -> (t -> 'a) -> 'a
 (** Create, run, and always shut the pool down. *)

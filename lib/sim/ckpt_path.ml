@@ -13,7 +13,7 @@ let rec schedule_ckpt_request w inst =
     let delay = Float.max 0.0 (inst.period -. inst.ckpt_nominal) in
     inst.ckpt_request_ev <-
       Some
-        (Engine.schedule_after w.engine ~delay (fun _ ->
+        (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay (fun _ ->
              inst.ckpt_request_ev <- None;
              on_ckpt_request w inst))
   end
@@ -62,7 +62,7 @@ and on_ckpt_request w inst =
       in
       inst.ckpt_request_ev <-
         Some
-          (Engine.schedule_after w.engine ~delay:retry (fun _ ->
+          (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:retry (fun _ ->
                inst.ckpt_request_ev <- None;
                on_ckpt_request w inst))
   | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt | Local_recovery ->
@@ -137,7 +137,7 @@ let rec schedule_local_tick w inst =
   | Some m when w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work ->
       inst.local_tick_ev <-
         Some
-          (Engine.schedule_after w.engine ~delay:m.Config.local_period_s (fun _ ->
+          (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_period_s (fun _ ->
                inst.local_tick_ev <- None;
                on_local_tick w m inst))
   | _ -> ()
@@ -153,7 +153,7 @@ and on_local_tick w m inst =
         inst.local_pause_start <- now w;
         inst.local_done_ev <-
           Some
-            (Engine.schedule_after w.engine ~delay:m.Config.local_cost_s (fun _ ->
+            (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_cost_s (fun _ ->
                  inst.local_done_ev <- None;
                  on_local_done w inst))
       end

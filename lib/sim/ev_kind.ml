@@ -1,0 +1,13 @@
+(* The simulator's event-kind vocabulary for Engine per-kind counters.
+   Plain ints (not a variant) so the engine stays generic and the hot
+   path passes an immediate; [names] indexes them for display. This
+   module sits below every other sim module — Io_subsystem cannot see
+   Sim_types, but both can see this. *)
+
+let other = 0
+let job = 1
+let io = 2
+let ckpt = 3
+let failure = 4
+let probe = 5
+let names = [| "other"; "job"; "io"; "ckpt"; "failure"; "probe" |]

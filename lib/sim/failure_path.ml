@@ -87,7 +87,7 @@ let rec schedule_failures w trace =
   let t = Failure_trace.peek_time trace in
   if t <= w.cfg.Config.horizon then
     ignore
-      (Engine.schedule_at w.engine ~time:t (fun _ ->
+      (Engine.schedule_at w.engine ~kind:Ev_kind.failure ~time:t (fun _ ->
            let e = Failure_trace.next trace in
            handle_failure w e;
            schedule_failures w trace))

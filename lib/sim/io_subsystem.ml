@@ -209,7 +209,7 @@ let rec reschedule_next t =
       match t.next_ev with
       | Some h when Engine.time_of t.engine h = Some time -> ()
       | Some h when Engine.reschedule t.engine h ~time -> ()
-      | _ -> t.next_ev <- Some (Engine.schedule_at t.engine ~time (on_next_completion t)))
+      | _ -> t.next_ev <- Some (Engine.schedule_at t.engine ~kind:Ev_kind.io ~time (on_next_completion t)))
 
 and on_next_completion t _engine =
   t.next_ev <- None;
@@ -255,7 +255,7 @@ let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
     in
     f.zv_ev <-
       Some
-        (Engine.schedule_after t.engine ~delay:0.0 (fun _ ->
+        (Engine.schedule_after t.engine ~kind:Ev_kind.io ~delay:0.0 (fun _ ->
              f.zv_ev <- None;
              if f.live then begin
                f.live <- false;

@@ -65,7 +65,7 @@ and start_instance w entry nodes =
       inst.wait_start <- now w;
       inst.delay_ev <-
         Some
-          (Engine.schedule_after w.engine ~delay:m.Config.local_recovery_s (fun _ ->
+          (Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:m.Config.local_recovery_s (fun _ ->
                inst.delay_ev <- None;
                Metrics.record w.metrics ~t0:inst.wait_start ~t1:(now w)
                  ~nodes:inst.spec.Jobgen.nodes Metrics.Recovery_io;
@@ -153,7 +153,7 @@ and start_compute w inst =
   inst.compute_start <- now w;
   inst.work_done_ev <-
     Some
-      (Engine.schedule_after w.engine ~delay:(Float.max left 0.0) (fun _ ->
+      (Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:(Float.max left 0.0) (fun _ ->
            inst.work_done_ev <- None;
            on_work_complete w inst))
 

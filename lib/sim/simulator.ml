@@ -123,9 +123,9 @@ let schedule_probes w ~dt observe =
   let rec tick _ =
     observe (snapshot_of w);
     if now w +. dt <= w.cfg.horizon then
-      ignore (Engine.schedule_after w.engine ~delay:dt tick)
+      ignore (Engine.schedule_after w.engine ~kind:Ev_kind.probe ~delay:dt tick)
   in
-  ignore (Engine.schedule_after w.engine ~delay:dt tick)
+  ignore (Engine.schedule_after w.engine ~kind:Ev_kind.probe ~delay:dt tick)
 
 (* ------------------------------------------------------------------ *)
 (* Top level.                                                           *)
@@ -178,11 +178,15 @@ let period_of w_cfg ~optimal (c : App_class.t) =
       | Strategy.Optimal -> List.assoc c.App_class.name (Lazy.force optimal))
   | Strategy.Least_waste | Strategy.Greedy_exposure -> Daly.period_for c ~platform
 
-let run ?specs ?trace ?hooks ?sample (cfg : Config.t) =
+let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
   Config.validate cfg;
   let specs = match specs with Some s -> s | None -> generate_specs cfg in
   let classes = Array.of_list cfg.classes in
   let engine = Engine.create () in
+  (* Observability wiring point: the caller sees the engine before the
+     first event is scheduled (attach_stats, tracing tick hooks). The
+     callback must not schedule or pop events. *)
+  (match on_engine with Some f -> f engine | None -> ());
   let metrics = Metrics.create ~seg_start:cfg.seg_start ~seg_end:cfg.seg_end in
   let sharing =
     match cfg.strategy with

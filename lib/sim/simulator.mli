@@ -90,6 +90,7 @@ val run :
   ?trace:Trace.t ->
   ?hooks:hooks ->
   ?sample:float * (snapshot -> unit) ->
+  ?on_engine:(Cocheck_des.Engine.t -> unit) ->
   Config.t ->
   result
 (** Simulate. When [specs] is omitted they are generated from the config
@@ -97,9 +98,13 @@ val run :
     two runs of the same config are identical. Pass [trace] to collect a
     structured event log of the run, [hooks] to stream instrumentation
     samples, and [sample:(dt, f)] to have [f] observe a {!snapshot} every
-    [dt] simulated seconds (requires [dt > 0]). Observability never
-    perturbs the simulation: probes are read-only and scheduled on the
-    same engine calendar. *)
+    [dt] simulated seconds (requires [dt > 0]). [on_engine] runs once on
+    the freshly created engine before any event is scheduled — the hook
+    the tracing layer uses to attach per-kind event-churn counters
+    ({!Cocheck_des.Engine.attach_stats} with {!Ev_kind.names}) and
+    periodic GC sampling; it must not schedule events. Observability
+    never perturbs the simulation: probes are read-only and scheduled on
+    the same engine calendar. *)
 
 val waste_ratio : strategy:result -> baseline:result -> float
 (** Section 6's headline metric: strategy waste over baseline useful work,

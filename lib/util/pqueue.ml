@@ -4,7 +4,13 @@
 
 type 'a handle = { mutable pos : int }
 
-type 'a entry = { priority : float; seq : int; value : 'a; handle : 'a handle }
+type 'a entry = {
+  priority : float;
+  seq : int;
+  tag : int;
+  value : 'a;
+  handle : 'a handle;
+}
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -57,15 +63,17 @@ let ensure_capacity t filler =
     t.data <- data
   end
 
-let add t ~priority value =
+let add_tagged t ~priority ~tag value =
   let handle = { pos = -1 } in
-  let e = { priority; seq = t.next_seq; value; handle } in
+  let e = { priority; seq = t.next_seq; tag; value; handle } in
   t.next_seq <- t.next_seq + 1;
   ensure_capacity t e;
   set t t.size e;
   t.size <- t.size + 1;
   sift_up t (t.size - 1);
   handle
+
+let add t ~priority value = add_tagged t ~priority ~tag:0 value
 
 let remove_at t i =
   let e = t.data.(i) in
@@ -86,6 +94,14 @@ let pop t =
     Some (e.priority, e.value)
   end
 
+let pop_tagged t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    remove_at t 0;
+    Some (e.priority, e.tag, e.value)
+  end
+
 let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
 
 let mem t h = h.pos >= 0 && h.pos < t.size && t.data.(h.pos).handle == h
@@ -98,6 +114,7 @@ let remove t h =
   else false
 
 let priority_of t h = if mem t h then Some t.data.(h.pos).priority else None
+let tag_of t h = if mem t h then Some t.data.(h.pos).tag else None
 
 let update_priority t h ~priority =
   if mem t h then begin

@@ -17,10 +17,21 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val add : 'a t -> priority:float -> 'a -> 'a handle
-(** Insert; the handle stays valid until the element is popped or removed. *)
+(** Insert; the handle stays valid until the element is popped or removed.
+    Equivalent to {!add_tagged} with [tag = 0]. *)
+
+val add_tagged : 'a t -> priority:float -> tag:int -> 'a -> 'a handle
+(** Insert with a small integer tag carried alongside the value. The tag
+    costs no extra allocation (it is a field of the entry the heap stores
+    anyway) and is read back by {!pop_tagged} and {!tag_of} — the
+    discrete-event engine uses it to attribute fired and cancelled events
+    to a kind without wrapping payload closures. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the smallest-priority element (FIFO among ties). *)
+
+val pop_tagged : 'a t -> (float * int * 'a) option
+(** {!pop}, also returning the entry's tag. *)
 
 val peek : 'a t -> (float * 'a) option
 
@@ -33,6 +44,9 @@ val mem : 'a t -> 'a handle -> bool
 
 val priority_of : 'a t -> 'a handle -> float option
 (** The current priority behind a live handle. *)
+
+val tag_of : 'a t -> 'a handle -> int option
+(** The tag behind a live handle ([0] unless inserted by {!add_tagged}). *)
 
 val update_priority : 'a t -> 'a handle -> priority:float -> bool
 (** [update_priority t h ~priority] moves the entry behind [h] to a new

@@ -324,6 +324,136 @@ let test_corrupt_record_is_a_miss () =
           check_same_ratios "repaired run identical" cold rerun))
 
 (* ------------------------------------------------------------------ *)
+(* Live progress stream and campaign tracing                            *)
+(* ------------------------------------------------------------------ *)
+
+let collect_progress () =
+  let events = ref [] in
+  ((fun ev -> events := ev :: !events), fun () -> List.rev !events)
+
+let test_progress_stream () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      with_temp_store (fun store ->
+          let spec = cache_spec () in
+          let on_progress, events = collect_progress () in
+          let o = E.Runner.run ~pool ~store ~on_progress spec in
+          let evs = events () in
+          let seqs =
+            List.filter_map
+              (function E.Runner.Point { seq; _ } -> Some seq | _ -> None)
+              evs
+          in
+          Alcotest.(check (list int)) "seq is 1..n in emission order"
+            (List.init 8 (fun i -> i + 1)) seqs;
+          let dones =
+            List.filter_map
+              (function E.Runner.Point { done_points; _ } -> Some done_points | _ -> None)
+              evs
+          in
+          Alcotest.(check (list int)) "done_points counts up"
+            (List.init 8 (fun i -> i + 1)) dones;
+          List.iter
+            (function
+              | E.Runner.Point { total_points; source; _ } ->
+                  Alcotest.(check int) "total is 8" 8 total_points;
+                  Alcotest.(check bool) "cold run simulates" true (source = `Simulated)
+              | E.Runner.Finished _ -> ())
+            evs;
+          (match List.rev evs with
+          | E.Runner.Finished { simulated; loaded; total_points; baselines; _ } :: _ ->
+              Alcotest.(check int) "finished: simulated" o.E.Runner.simulated simulated;
+              Alcotest.(check int) "finished: loaded" 0 loaded;
+              Alcotest.(check int) "finished: baselines" o.E.Runner.baselines baselines;
+              Alcotest.(check int) "finished: total" 8 total_points
+          | _ -> Alcotest.fail "last event must be Finished");
+          (* Warm re-run: every point must stream as a cache hit. *)
+          let on_progress, events = collect_progress () in
+          ignore (E.Runner.run ~pool ~store ~on_progress spec);
+          List.iter
+            (function
+              | E.Runner.Point { source; _ } ->
+                  Alcotest.(check bool) "warm run streams cached" true (source = `Cached)
+              | E.Runner.Finished { simulated; loaded; _ } ->
+                  Alcotest.(check int) "warm finished: simulated" 0 simulated;
+                  Alcotest.(check int) "warm finished: loaded" 8 loaded)
+            (events ())))
+
+let test_progress_json_roundtrip () =
+  let events =
+    [
+      E.Runner.Point
+        {
+          seq = 3;
+          elapsed_s = 1.25;
+          cell = 2;
+          x = Some 0.5;
+          rep = 1;
+          strategy = "Least-Waste";
+          source = `Cached;
+          done_points = 3;
+          total_points = 28;
+        };
+      E.Runner.Point
+        {
+          seq = 4;
+          elapsed_s = 2.0;
+          cell = 0;
+          x = None;
+          rep = 0;
+          strategy = "Ordered[Daly]";
+          source = `Simulated;
+          done_points = 4;
+          total_points = 28;
+        };
+      E.Runner.Finished
+        { elapsed_s = 9.5; simulated = 20; baselines = 4; loaded = 8; total_points = 28 };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let j = E.Runner.progress_to_json ev in
+      (* Through text, as `campaign status --follow` consumes it. *)
+      match Json.of_string (Json.to_string j) with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok j' -> (
+          match E.Runner.progress_of_json j' with
+          | Some ev' -> Alcotest.(check bool) "round-trips" true (ev = ev')
+          | None -> Alcotest.fail "decoder rejected its own encoding"))
+    events;
+  Alcotest.(check bool) "unknown event is None" true
+    (E.Runner.progress_of_json (Json.Obj [ ("event", Json.String "nope") ]) = None);
+  Alcotest.(check bool) "non-object is None" true
+    (E.Runner.progress_of_json (Json.String "x") = None)
+
+let test_runner_tracer_records_cells () =
+  Pool.with_pool ~num_domains:0 (fun pool ->
+      let spec = cache_spec () in
+      let tracer = Cocheck_obs.Tracing.create () in
+      ignore (E.Runner.run ~pool ~tracer spec);
+      let cells, nested =
+        List.fold_left
+          (fun (cells, nested) ev ->
+            match ev with
+            | Cocheck_obs.Span.Slice { name; _ }
+              when name = "generate" || name = "baseline"
+                   || (String.length name > 4 && String.sub name 0 4 = "sim:") ->
+                (cells, nested + 1)
+            | Cocheck_obs.Span.Slice { name; cat = "campaign"; args; _ } ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s carries a source arg" name)
+                  true
+                  (List.mem_assoc "source" args);
+                (cells + 1, nested)
+            | _ -> (cells, nested))
+          (0, 0)
+          (Cocheck_obs.Tracing.events tracer)
+      in
+      (* 2 axis points x 2 reps: one task slice per (cell, rep), each
+         containing generate + baseline + one sim per strategy. *)
+      Alcotest.(check int) "one campaign slice per (cell, rep)" 4 cells;
+      Alcotest.(check int) "phase slices nest inside" 16 nested)
+
+(* ------------------------------------------------------------------ *)
 (* Bit-identity with the pre-engine Monte Carlo loop                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -398,5 +528,11 @@ let () =
             test_corrupt_record_is_a_miss;
           Alcotest.test_case "bit-identical to legacy loop" `Slow
             test_matches_legacy_loop;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "stream shape and ordering" `Slow test_progress_stream;
+          Alcotest.test_case "json round-trip" `Quick test_progress_json_roundtrip;
+          Alcotest.test_case "tracer records cells" `Slow test_runner_tracer_records_cells;
         ] );
     ]

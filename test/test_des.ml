@@ -155,6 +155,70 @@ let test_reschedule_past_rejected () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counts_by_kind () =
+  let e = Engine.create () in
+  let st = Engine.attach_stats e ~kinds:[| "other"; "alpha"; "beta" |] () in
+  ignore (Engine.schedule_at e ~kind:1 ~time:1.0 (fun _ -> ()));
+  ignore (Engine.schedule_at e ~kind:1 ~time:2.0 (fun _ -> ()));
+  ignore (Engine.schedule_at e ~kind:2 ~time:3.0 (fun _ -> ()));
+  let victim = Engine.schedule_at e ~kind:2 ~time:4.0 (fun _ -> ()) in
+  ignore (Engine.cancel e victim);
+  Engine.run e;
+  Alcotest.(check int) "scheduled" 4 (Engine.stats_scheduled st);
+  Alcotest.(check int) "fired" 3 (Engine.stats_fired st);
+  Alcotest.(check int) "cancelled" 1 (Engine.stats_cancelled st);
+  Alcotest.(check (list (triple string int int)))
+    "per kind (scheduled, fired)"
+    [ ("other", 0, 0); ("alpha", 2, 2); ("beta", 2, 1) ]
+    (List.map
+       (fun (k, s, f, _) -> (k, s, f))
+       (Engine.stats_by_kind st))
+
+let test_stats_unknown_kind_folds_to_other () =
+  let e = Engine.create () in
+  let st = Engine.attach_stats e ~kinds:[| "other"; "known" |] () in
+  ignore (Engine.schedule_at e ~kind:99 ~time:1.0 (fun _ -> ()));
+  Engine.run e;
+  match Engine.stats_by_kind st with
+  | (k0, s0, f0, _) :: _ ->
+      Alcotest.(check string) "slot 0" "other" k0;
+      Alcotest.(check int) "scheduled folded" 1 s0;
+      Alcotest.(check int) "fired folded" 1 f0
+  | [] -> Alcotest.fail "no kinds"
+
+let test_stats_reschedule_counted () =
+  let e = Engine.create () in
+  let st = Engine.attach_stats e ~kinds:[| "other" |] () in
+  let h = Engine.schedule_at e ~time:5.0 (fun _ -> ()) in
+  ignore (Engine.reschedule e h ~time:1.0);
+  Engine.run e;
+  Alcotest.(check int) "rescheduled" 1 (Engine.stats_rescheduled st);
+  Alcotest.(check int) "fired once" 1 (Engine.stats_fired st)
+
+let test_stats_tick_hook_cadence () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  let _st =
+    Engine.attach_stats e ~kinds:[| "other" |] ~tick_every:3
+      ~on_tick:(fun _ -> incr ticks)
+      ()
+  in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e ~time:(float_of_int i) (fun _ -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "tick every 3 of 10 fires" 3 !ticks
+
+let test_stats_absent_by_default () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e ~kind:3 ~time:1.0 (fun _ -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "no stats unless attached" true (Engine.stats e = None)
+
 let test_stress_many_events =
   QCheck.Test.make ~name:"engine_processes_all_events_in_order" ~count:50
     QCheck.(list_of_size (QCheck.Gen.int_range 0 500) (float_range 0.0 1e6))
@@ -192,4 +256,12 @@ let () =
           Alcotest.test_case "reschedule past rejected" `Quick test_reschedule_past_rejected;
         ]
         @ [ QCheck_alcotest.to_alcotest ~long:false test_stress_many_events ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counts by kind" `Quick test_stats_counts_by_kind;
+          Alcotest.test_case "unknown kind folds" `Quick test_stats_unknown_kind_folds_to_other;
+          Alcotest.test_case "reschedule counted" `Quick test_stats_reschedule_counted;
+          Alcotest.test_case "tick cadence" `Quick test_stats_tick_hook_cadence;
+          Alcotest.test_case "absent by default" `Quick test_stats_absent_by_default;
+        ] );
     ]

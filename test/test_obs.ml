@@ -391,6 +391,251 @@ let test_manifest_write_load () =
               Alcotest.(check bool) "disk round-trip exact" true (cfg = cfg')))
 
 (* ------------------------------------------------------------------ *)
+(* Span / Tracing / Runtime                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Span = Cocheck_obs.Span
+module Tracing = Cocheck_obs.Tracing
+module Runtime = Cocheck_obs.Runtime
+module Pool = Cocheck_parallel.Pool
+
+let sample_events =
+  [
+    Span.Track_name { track = 0; name = "worker-0" };
+    Span.Slice
+      {
+        name = "cell 0 rep 1";
+        cat = "campaign";
+        track = 0;
+        ts_us = 10.0;
+        dur_us = 250.5;
+        args = [ ("source", Span.Str "simulated"); ("rep", Span.Num 1.0) ];
+      };
+    Span.Instant
+      { name = "failure"; cat = "sim"; track = 3; ts_us = 42.25; args = [] };
+    Span.Counter
+      { name = "engine/gc"; ts_us = 99.0; values = [ ("minor_words", 1234.0) ] };
+  ]
+
+let test_span_export_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Span.of_trace_event (Span.to_trace_event ~pid:1 ev) with
+      | Some ev' -> Alcotest.(check bool) "event round-trips" true (ev = ev')
+      | None -> Alcotest.fail "decoder rejected its own encoding")
+    sample_events;
+  match Span.of_export (Span.export ~process_name:"test" sample_events) with
+  | Ok evs -> Alcotest.(check bool) "document round-trips" true (evs = sample_events)
+  | Error e -> Alcotest.failf "of_export: %s" e
+
+let test_span_export_through_text () =
+  let doc = Span.export sample_events in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "reparse: %s" e
+  | Ok doc' -> (
+      Alcotest.(check bool) "traceEvents array present" true
+        (Json.member "traceEvents" doc' <> None);
+      match Span.of_export doc' with
+      | Ok evs -> Alcotest.(check bool) "text round-trip" true (evs = sample_events)
+      | Error e -> Alcotest.failf "of_export: %s" e)
+
+let test_tracing_records_and_sorts () =
+  let t = Tracing.create () in
+  Tracing.span t ~track:7 "outer" (fun () ->
+      Tracing.span t ~track:7 "inner" (fun () -> ignore (Sys.opaque_identity 1)));
+  Tracing.instant t ~track:7 "mark";
+  Alcotest.(check int) "three events" 3 (Tracing.length t);
+  let slices =
+    List.filter_map
+      (function Span.Slice { name; ts_us; dur_us; _ } -> Some (name, ts_us, dur_us) | _ -> None)
+      (Tracing.events t)
+  in
+  match slices with
+  | [ ("outer", ts_o, dur_o); ("inner", ts_i, dur_i) ]
+  | [ ("inner", ts_i, dur_i); ("outer", ts_o, dur_o) ] ->
+      Alcotest.(check bool) "child starts within parent" true (ts_i >= ts_o);
+      Alcotest.(check bool) "child ends within parent" true
+        (ts_i +. dur_i <= ts_o +. dur_o +. 1.0)
+  | other -> Alcotest.failf "expected outer+inner slices, got %d" (List.length other)
+
+let test_span_records_on_exception () =
+  let t = Tracing.create () in
+  (match Tracing.span t "boom" (fun () -> failwith "kaboom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure");
+  match Tracing.events t with
+  | [ Span.Slice { name = "boom"; args; _ } ] ->
+      Alcotest.(check bool) "exception arg recorded" true
+        (List.mem_assoc "exception" args)
+  | _ -> Alcotest.fail "expected a single slice"
+
+let test_tracing_disabled_is_free () =
+  let t = Tracing.disabled in
+  Alcotest.(check bool) "not enabled" false (Tracing.is_enabled t);
+  Alcotest.(check int) "span runs thunk" 41 (Tracing.span t "x" (fun () -> 41));
+  Tracing.instant t "i";
+  Tracing.counter t "c" [ ("v", 1.0) ];
+  Tracing.name_track t ~track:0 "lane";
+  Tracing.end_span t (Tracing.begin_span t "y");
+  Alcotest.(check int) "nothing recorded" 0 (Tracing.length t);
+  Alcotest.(check bool) "pool telemetry is the sentinel" true
+    (Tracing.pool_telemetry t () == Pool.no_telemetry);
+  let engine = Cocheck_des.Engine.create () in
+  let flush = Tracing.instrument_engine t ~kinds:[| "other" |] engine in
+  flush ();
+  Alcotest.(check bool) "no stats attached when disabled" true
+    (Cocheck_des.Engine.stats engine = None)
+
+let test_tracing_capacity_drops () =
+  let t = Tracing.create ~capacity:2 () in
+  Tracing.instant t "a";
+  Tracing.instant t "b";
+  Tracing.instant t "c";
+  Alcotest.(check int) "kept" 2 (Tracing.length t);
+  Alcotest.(check int) "dropped" 1 (Tracing.dropped t)
+
+let test_tracing_write_perfetto_file () =
+  let t = Tracing.create () in
+  Tracing.span t "phase" (fun () -> ());
+  Tracing.counter t "engine/gc" [ ("minor_words", 7.0) ];
+  let path = Filename.temp_file "cocheck-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Tracing.write ~path ~process_name:"test" t;
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string s with
+      | Error e -> Alcotest.failf "unparseable trace file: %s" e
+      | Ok doc -> (
+          match Span.of_export doc with
+          | Ok evs -> Alcotest.(check int) "both events survive" 2 (List.length evs)
+          | Error e -> Alcotest.failf "of_export: %s" e))
+
+let test_pool_spans_sequential_deterministic () =
+  (* The satellite determinism contract: an observed sequential pool puts
+     every task slice on track 0, one slice per task. *)
+  let t = Tracing.create () in
+  let reg = Histogram.registry () in
+  Pool.with_pool ~num_domains:0 ~telemetry:(Tracing.pool_telemetry t ~registry:reg ())
+    (fun pool -> ignore (Pool.init_array pool 4 (fun i -> i)));
+  let task_slices =
+    List.filter_map
+      (function
+        | Span.Slice { name = "task"; track; _ } -> Some track
+        | _ -> None)
+      (Tracing.events t)
+  in
+  Alcotest.(check (list int)) "one slice per task, all on track 0" [ 0; 0; 0; 0 ]
+    task_slices;
+  let wait_hist = List.find (fun h -> Histogram.name h = "pool_queue_wait_s") (Histogram.hists reg) in
+  Alcotest.(check int) "queue-wait histogram fed" 4 (Histogram.count wait_hist);
+  Alcotest.(check bool) "worker lane named" true
+    (List.exists
+       (function Span.Track_name { track = 0; name = "worker-0" } -> true | _ -> false)
+       (Tracing.events t))
+
+let test_instrument_engine_emits_counters () =
+  let t = Tracing.create () in
+  let engine = Cocheck_des.Engine.create () in
+  let flush =
+    Tracing.instrument_engine t ~prefix:"eng" ~every:2 ~kinds:[| "other"; "job" |] engine
+  in
+  for i = 1 to 5 do
+    ignore (Cocheck_des.Engine.schedule_at engine ~kind:1 ~time:(float_of_int i) (fun _ -> ()))
+  done;
+  Cocheck_des.Engine.run engine;
+  flush ();
+  let counters =
+    List.filter_map
+      (function Span.Counter { name; values; _ } -> Some (name, values) | _ -> None)
+      (Tracing.events t)
+  in
+  let fired = List.filter (fun (n, _) -> n = "eng/fired") counters in
+  (* every=2 over 5 fired events -> 2 ticks, plus the final flush. *)
+  Alcotest.(check int) "fired samples" 3 (List.length fired);
+  (match List.rev fired with
+  | (_, values) :: _ ->
+      Alcotest.(check (float 0.0)) "final per-kind count" 5.0 (List.assoc "job" values)
+  | [] -> Alcotest.fail "no fired samples");
+  Alcotest.(check bool) "gc track present" true
+    (List.exists (fun (n, _) -> n = "eng/gc") counters)
+
+let test_runtime_registry () =
+  let reg = Runtime.registry () in
+  let c = Runtime.counter reg "sims" in
+  let g = Runtime.gauge reg "queue_depth" in
+  Runtime.incr reg c ();
+  Runtime.incr reg c ~by:2.5 ();
+  Runtime.set reg g 7.0;
+  checkf "counter accumulates" 3.5 (Runtime.value c);
+  checkf "gauge holds last" 7.0 (Runtime.gauge_value g);
+  Alcotest.(check bool) "kind clash rejected" true
+    (match Runtime.gauge reg "sims" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "snapshot in creation order" true
+    (Runtime.snapshot reg = [ ("sims", 3.5); ("queue_depth", 7.0) ])
+
+let test_runtime_gc_probe () =
+  let p = Runtime.gc_probe () in
+  let junk = ref [] in
+  for i = 1 to 10_000 do
+    junk := i :: !junk
+  done;
+  ignore (Sys.opaque_identity !junk);
+  let d = Runtime.gc_sample p in
+  Alcotest.(check bool) "allocation observed" true (d.Runtime.minor_words > 0.0);
+  Alcotest.(check bool) "values list covers the fields" true
+    (List.length (Runtime.gc_delta_values d) = 5)
+
+let test_span_nesting_qcheck =
+  (* Random span trees: every recorded slice must contain its children's
+     intervals, and slice count must equal node count. *)
+  let gen = QCheck.(list_of_size (QCheck.Gen.int_range 1 40) (int_range 0 2)) in
+  QCheck.Test.make ~name:"span_nesting_invariants" ~count:30 gen (fun shape ->
+      let t = Tracing.create () in
+      let nodes = ref 0 in
+      (* Interpret the int list as a preorder walk: value = how many
+         children the next node has (capped by remaining budget). *)
+      let rec build depth budget shape =
+        match shape with
+        | [] -> []
+        | n :: rest when !nodes < 60 && depth < 8 ->
+            incr nodes;
+            Tracing.span t ~track:1
+              (Printf.sprintf "n%d" !nodes)
+              (fun () ->
+                let rest = ref rest in
+                for _ = 1 to min n budget do
+                  rest := build (depth + 1) (budget - 1) !rest
+                done;
+                !rest)
+        | _ :: rest -> rest
+      in
+      ignore (build 0 3 shape);
+      let slices =
+        List.filter_map
+          (function
+            | Span.Slice { ts_us; dur_us; _ } -> Some (ts_us, ts_us +. dur_us)
+            | _ -> None)
+          (Tracing.events t)
+      in
+      if List.length slices <> !nodes then false
+      else
+        (* Recording order is close order (post-order); an earlier-closing
+           span on one track either nests inside or precedes a
+           later-closing one — intervals never partially overlap. *)
+        let rec ok = function
+          | [] -> true
+          | (s1, e1) :: rest ->
+              List.for_all
+                (fun (s2, e2) -> (s2 <= s1 +. 1.0 && e1 <= e2 +. 1.0) || s1 >= e2 -. 1.0 || s2 >= e1 -. 1.0)
+                rest
+              && ok rest
+        in
+        ok slices)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -438,5 +683,27 @@ let () =
           Alcotest.test_case "text round-trip" `Quick test_manifest_roundtrip_through_text;
           Alcotest.test_case "strategy names" `Quick test_manifest_strategy_names_parse_back;
           Alcotest.test_case "write/load" `Quick test_manifest_write_load;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "export round-trip" `Quick test_span_export_roundtrip;
+          Alcotest.test_case "export through text" `Quick test_span_export_through_text;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "records nested spans" `Quick test_tracing_records_and_sorts;
+          Alcotest.test_case "span on exception" `Quick test_span_records_on_exception;
+          Alcotest.test_case "disabled is free" `Quick test_tracing_disabled_is_free;
+          Alcotest.test_case "capacity drops" `Quick test_tracing_capacity_drops;
+          Alcotest.test_case "perfetto file" `Quick test_tracing_write_perfetto_file;
+          Alcotest.test_case "pool lanes (sequential)" `Quick
+            test_pool_spans_sequential_deterministic;
+          Alcotest.test_case "engine counters" `Quick test_instrument_engine_emits_counters;
+        ]
+        @ qsuite [ test_span_nesting_qcheck ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "metrics registry" `Quick test_runtime_registry;
+          Alcotest.test_case "gc probe" `Quick test_runtime_gc_probe;
         ] );
     ]

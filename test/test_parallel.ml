@@ -90,6 +90,59 @@ let test_with_pool_cleans_up_on_exception () =
   | _ -> Alcotest.fail "expected Boom");
   Alcotest.(check pass) "pool cleaned up" () ()
 
+let recording_telemetry () =
+  let mutex = Mutex.create () in
+  let tasks = ref [] in
+  let telemetry =
+    {
+      Pool.on_task =
+        (fun ~worker ~queued_s ~ran_s ->
+          Mutex.lock mutex;
+          tasks := (worker, queued_s, ran_s) :: !tasks;
+          Mutex.unlock mutex);
+      on_idle = (fun ~worker:_ ~idle_s:_ -> ());
+    }
+  in
+  (telemetry, fun () -> List.rev !tasks)
+
+let test_sequential_telemetry_deterministic () =
+  (* An observed num_domains=0 pool reports every task on worker 0, in
+     submission order — the deterministic-lanes contract tests rely on. *)
+  let telemetry, tasks = recording_telemetry () in
+  Pool.with_pool ~num_domains:0 ~telemetry (fun pool ->
+      let r = Pool.init_array pool 5 (fun i -> i * 2) in
+      Alcotest.(check (array int)) "results" [| 0; 2; 4; 6; 8 |] r);
+  let ts = tasks () in
+  Alcotest.(check int) "one report per task" 5 (List.length ts);
+  List.iter
+    (fun (worker, queued_s, ran_s) ->
+      Alcotest.(check int) "worker 0" 0 worker;
+      Alcotest.(check bool) "non-negative queue wait" true (queued_s >= 0.0);
+      Alcotest.(check bool) "non-negative run time" true (ran_s >= 0.0))
+    ts
+
+let test_parallel_telemetry_reports_every_task () =
+  let telemetry, tasks = recording_telemetry () in
+  Pool.with_pool ~num_domains:2 ~telemetry (fun pool ->
+      ignore (Pool.init_array pool 20 (fun i -> i)));
+  let ts = tasks () in
+  Alcotest.(check int) "20 reports" 20 (List.length ts);
+  List.iter
+    (fun (worker, _, _) ->
+      Alcotest.(check bool) "worker index in range" true (worker >= 0 && worker < 2))
+    ts
+
+let test_telemetry_reports_failed_tasks () =
+  let telemetry, tasks = recording_telemetry () in
+  Pool.with_pool ~num_domains:0 ~telemetry (fun pool ->
+      (match Pool.await (Pool.async pool (fun () -> raise Boom)) with
+      | exception Boom -> ()
+      | _ -> Alcotest.fail "expected Boom"));
+  Alcotest.(check int) "exceptional task still reported" 1 (List.length (tasks ()))
+
+let test_current_worker_outside_pool () =
+  Alcotest.(check int) "outside any pool" 0 (Pool.current_worker ())
+
 let test_parallel_rng_determinism () =
   (* The determinism contract Monte Carlo relies on: per-task seeds make
      results independent of scheduling. *)
@@ -122,5 +175,15 @@ let () =
           Alcotest.test_case "negative domains" `Quick test_negative_domains_rejected;
           Alcotest.test_case "with_pool cleanup" `Quick test_with_pool_cleans_up_on_exception;
           Alcotest.test_case "scheduling-independent results" `Quick test_parallel_rng_determinism;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "sequential lanes deterministic" `Quick
+            test_sequential_telemetry_deterministic;
+          Alcotest.test_case "parallel reports every task" `Quick
+            test_parallel_telemetry_reports_every_task;
+          Alcotest.test_case "failed tasks reported" `Quick test_telemetry_reports_failed_tasks;
+          Alcotest.test_case "current_worker outside pool" `Quick
+            test_current_worker_outside_pool;
         ] );
     ]
