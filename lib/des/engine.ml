@@ -23,6 +23,9 @@ and stats = {
 
 type handle = (t -> unit) Pqueue.handle
 
+let none : handle = Pqueue.null_handle
+let is_none = Pqueue.is_null
+
 let create ?(start = 0.0) () =
   { calendar = Pqueue.create (); clock = start; processed = 0; stats = None }
 
@@ -77,25 +80,31 @@ let reschedule t h ~time =
 let pending t h = Pqueue.mem t.calendar h
 let time_of t h = Pqueue.priority_of t.calendar h
 
+(* The root is read piecewise and dropped rather than popped: no option,
+   tuple or boxed-float allocation per event. *)
 let step t =
-  match Pqueue.pop_tagged t.calendar with
-  | None -> false
-  | Some (time, tag, f) ->
-      t.clock <- time;
-      t.processed <- t.processed + 1;
-      (match t.stats with
-      | None -> ()
-      | Some st ->
-          st.fired <- st.fired + 1;
-          let k = kind_slot st tag in
-          st.by_kind_fired.(k) <- st.by_kind_fired.(k) + 1;
-          st.tick_budget <- st.tick_budget - 1;
-          if st.tick_budget <= 0 then begin
-            st.tick_budget <- st.tick_every;
-            st.on_tick t
-          end);
-      f t;
-      true
+  if Pqueue.is_empty t.calendar then false
+  else begin
+    let time = Pqueue.min_priority t.calendar in
+    let tag = Pqueue.min_tag t.calendar in
+    let f = Pqueue.min_value t.calendar in
+    Pqueue.drop_min t.calendar;
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    (match t.stats with
+    | None -> ()
+    | Some st ->
+        st.fired <- st.fired + 1;
+        let k = kind_slot st tag in
+        st.by_kind_fired.(k) <- st.by_kind_fired.(k) + 1;
+        st.tick_budget <- st.tick_budget - 1;
+        if st.tick_budget <= 0 then begin
+          st.tick_budget <- st.tick_every;
+          st.on_tick t
+        end);
+    f t;
+    true
+  end
 
 let run ?until t =
   match until with
@@ -103,11 +112,14 @@ let run ?until t =
   | Some horizon ->
       let continue = ref true in
       while !continue do
-        match Pqueue.peek t.calendar with
-        | Some (time, _) when time <= horizon -> ignore (step t)
-        | _ ->
-            if t.clock < horizon then t.clock <- horizon;
-            continue := false
+        if
+          (not (Pqueue.is_empty t.calendar))
+          && Pqueue.min_priority t.calendar <= horizon
+        then ignore (step t)
+        else begin
+          if t.clock < horizon then t.clock <- horizon;
+          continue := false
+        end
       done
 
 let events_processed t = t.processed

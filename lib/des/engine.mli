@@ -5,7 +5,20 @@
     Handlers may schedule and cancel further events freely. *)
 
 type t
+
 type handle
+(** An immediate (unboxed) event designator — storing one costs no
+    allocation, unlike a [handle option]. *)
+
+val none : handle
+(** A handle that never designates a pending event: {!pending} is [false],
+    {!cancel} and {!reschedule} are no-ops returning [false]. The "no
+    event armed" sentinel for mutable fields that would otherwise pay one
+    [Some] allocation per armed event. *)
+
+val is_none : handle -> bool
+(** Whether the handle is {!none} (a non-{!none} handle may still have
+    fired or been cancelled; {!pending} is the liveness test). *)
 
 val create : ?start:float -> unit -> t
 (** A fresh engine with clock at [start] (default 0). *)

@@ -12,10 +12,7 @@ let rec schedule_ckpt_request w inst =
   if w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work then begin
     let delay = Float.max 0.0 (inst.period -. inst.ckpt_nominal) in
     inst.ckpt_request_ev <-
-      Some
-        (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay (fun _ ->
-             inst.ckpt_request_ev <- None;
-             on_ckpt_request w inst))
+      Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay inst.cb_ckpt_request
   end
 
 and on_ckpt_request w inst =
@@ -61,10 +58,7 @@ and on_ckpt_request w inst =
         | None -> 1.0
       in
       inst.ckpt_request_ev <-
-        Some
-          (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:retry (fun _ ->
-               inst.ckpt_request_ev <- None;
-               on_ckpt_request w inst))
+        Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:retry inst.cb_ckpt_request
   | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt | Local_recovery ->
       (* Requests are cancelled whenever the job leaves the computing state,
          so a firing request always finds it computing (or locally
@@ -136,10 +130,8 @@ let rec schedule_local_tick w inst =
   match w.cfg.Config.multilevel with
   | Some m when w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work ->
       inst.local_tick_ev <-
-        Some
-          (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_period_s (fun _ ->
-               inst.local_tick_ev <- None;
-               on_local_tick w m inst))
+        Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_period_s
+          inst.cb_local_tick
   | _ -> ()
 
 and on_local_tick w m inst =
@@ -152,10 +144,8 @@ and on_local_tick w m inst =
         inst.activity <- Local_ckpt;
         inst.local_pause_start <- now w;
         inst.local_done_ev <-
-          Some
-            (Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_cost_s (fun _ ->
-                 inst.local_done_ev <- None;
-                 on_local_done w inst))
+          Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_cost_s
+            inst.cb_local_done
       end
   | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt ->
       (* Busy with I/O-level activity: try again one local period later. *)
@@ -174,3 +164,24 @@ and on_local_done w inst =
   inst.local_safe_time <- inst.local_pause_start;
   schedule_local_tick w inst;
   w.h_start_compute inst
+
+(* ------------------------------------------------------------------ *)
+
+(* Build the instance's recycled checkpoint-path callbacks once at start;
+   every later re-arm threads these instead of allocating a closure. *)
+let install_callbacks w inst =
+  inst.cb_ckpt_request <-
+    (fun _ ->
+      inst.ckpt_request_ev <- Engine.none;
+      on_ckpt_request w inst);
+  match w.cfg.Config.multilevel with
+  | None -> ()
+  | Some m ->
+      inst.cb_local_tick <-
+        (fun _ ->
+          inst.local_tick_ev <- Engine.none;
+          on_local_tick w m inst);
+      inst.cb_local_done <-
+        (fun _ ->
+          inst.local_done_ev <- Engine.none;
+          on_local_done w inst)

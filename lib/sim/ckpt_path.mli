@@ -6,6 +6,11 @@
     {!Cocheck_core.Strategy.uses_token} / {!Cocheck_core.Strategy.is_blocking}
     and the run's {!Arbiter} policy — no per-strategy branches live here. *)
 
+val install_callbacks : Sim_types.w -> Sim_types.inst -> unit
+(** Build the instance's recycled checkpoint-path callbacks (request
+    firing, local tick/done) once; called by {!Lifecycle} at instance
+    start so the periodic re-arms allocate no closures. *)
+
 val schedule_ckpt_request : Sim_types.w -> Sim_types.inst -> unit
 (** Arm the next checkpoint request, one (P − C) after the current commit
     end; no-op once the remaining work is negligible or checkpointing is

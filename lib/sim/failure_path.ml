@@ -83,11 +83,17 @@ let handle_failure w (e : Failure_trace.event) =
       w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
       kill_inst w inst
 
-let rec schedule_failures w trace =
-  let t = Failure_trace.peek_time trace in
-  if t <= w.cfg.Config.horizon then
-    ignore
-      (Engine.schedule_at w.engine ~kind:Ev_kind.failure ~time:t (fun _ ->
-           let e = Failure_trace.next trace in
-           handle_failure w e;
-           schedule_failures w trace))
+(* One callback serves the whole failure stream: it consumes the next
+   trace event and re-arms itself, so a multi-year trace costs a single
+   closure allocation instead of one per failure. *)
+let schedule_failures w trace =
+  let rec fire _ =
+    let e = Failure_trace.next trace in
+    handle_failure w e;
+    arm ()
+  and arm () =
+    let t = Failure_trace.peek_time trace in
+    if t <= w.cfg.Config.horizon then
+      ignore (Engine.schedule_at w.engine ~kind:Ev_kind.failure ~time:t fire)
+  in
+  arm ()

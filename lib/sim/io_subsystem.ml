@@ -61,8 +61,8 @@ type flow = {
   mutable committed_gb : float;  (* volume already credited to the total *)
   mutable live : bool;
   mutable in_set : bool;  (* member of the shared pool (zero-volume: no) *)
-  mutable heap_h : flow Pqueue.handle option;
-  mutable zv_ev : Engine.handle option;  (* zero-volume immediate event *)
+  mutable heap_h : flow Pqueue.handle;  (* Pqueue.null_handle when absent *)
+  mutable zv_ev : Engine.handle;  (* zero-volume immediate event; Engine.none when absent *)
   on_complete : unit -> unit;
 }
 
@@ -79,36 +79,13 @@ type t = {
   mutable t_last : float;
   mutable total_weight : float;
   mutable nflows : int;
-  mutable next_ev : Engine.handle option;  (* THE completion event *)
+  mutable next_ev : Engine.handle;  (* THE completion event; Engine.none when absent *)
+  mutable cb_completion : Engine.t -> unit;  (* recycled completion callback *)
   seg_lo : float;  (* measurement segment, cached from the ledger *)
   seg_hi : float;
   mutable v_seg_lo : float option;  (* V when wall time crossed seg_lo *)
   mutable v_seg_hi : float option;
 }
-
-let create ~engine ~metrics ~bandwidth_gbs ~sharing =
-  if bandwidth_gbs <= 0.0 then invalid_arg "Io_subsystem.create: bandwidth must be positive";
-  let seg_lo, seg_hi = Metrics.segment metrics in
-  let now = Engine.now engine in
-  {
-    engine;
-    metrics;
-    bandwidth = bandwidth_gbs;
-    sharing;
-    flows = Hashtbl.create 64;
-    heap = Pqueue.create ();
-    next_id = 0;
-    transferred_committed = 0.0;
-    vclock = 0.0;
-    t_last = now;
-    total_weight = 0.0;
-    nflows = 0;
-    next_ev = None;
-    seg_lo;
-    seg_hi;
-    v_seg_lo = (if now >= seg_lo then Some 0.0 else None);
-    v_seg_hi = (if now >= seg_hi then Some 0.0 else None);
-  }
 
 let slope t =
   match t.sharing with
@@ -183,11 +160,10 @@ let commit_full t f =
 let drop t f =
   f.live <- false;
   f.in_set <- false;
-  (match f.heap_h with
-  | Some h ->
-      ignore (Pqueue.remove t.heap h);
-      f.heap_h <- None
-  | None -> ());
+  if not (Pqueue.is_null f.heap_h) then begin
+    ignore (Pqueue.remove t.heap f.heap_h);
+    f.heap_h <- Pqueue.null_handle
+  end;
   Hashtbl.remove t.flows f.id;
   t.total_weight <- t.total_weight -. f.weight;
   t.nflows <- t.nflows - 1;
@@ -195,34 +171,72 @@ let drop t f =
 
 (* Retime the single completion event to the heap minimum. Simultaneous
    completions resolve as a cascade of zero-delay events, preserving the
-   one-event invariant. *)
+   one-event invariant. The heap root is read piecewise and the calendar
+   event re-armed through the recycled [cb_completion], so per-completion
+   bookkeeping allocates nothing. *)
 let rec reschedule_next t =
-  match Pqueue.peek t.heap with
-  | None -> (
-      match t.next_ev with
-      | Some h ->
-          ignore (Engine.cancel t.engine h);
-          t.next_ev <- None
-      | None -> ())
-  | Some (v_min, _) -> (
-      let time = t.t_last +. (Float.max 0.0 (v_min -. t.vclock) /. slope t) in
-      match t.next_ev with
-      | Some h when Engine.time_of t.engine h = Some time -> ()
-      | Some h when Engine.reschedule t.engine h ~time -> ()
-      | _ -> t.next_ev <- Some (Engine.schedule_at t.engine ~kind:Ev_kind.io ~time (on_next_completion t)))
+  if Pqueue.is_empty t.heap then begin
+    if not (Engine.is_none t.next_ev) then begin
+      ignore (Engine.cancel t.engine t.next_ev);
+      t.next_ev <- Engine.none
+    end
+  end
+  else begin
+    let v_min = Pqueue.min_priority t.heap in
+    let time = t.t_last +. (Float.max 0.0 (v_min -. t.vclock) /. slope t) in
+    let retimed =
+      (not (Engine.is_none t.next_ev))
+      &&
+      match Engine.time_of t.engine t.next_ev with
+      | Some tm when tm = time -> true
+      | Some _ | None -> Engine.reschedule t.engine t.next_ev ~time
+    in
+    if not retimed then
+      t.next_ev <- Engine.schedule_at t.engine ~kind:Ev_kind.io ~time t.cb_completion
+  end
 
 and on_next_completion t _engine =
-  t.next_ev <- None;
+  t.next_ev <- Engine.none;
   advance t;
-  match Pqueue.pop t.heap with
-  | None -> ()
-  | Some (_v, f) ->
-      f.heap_h <- None;
-      settle_flow t f;
-      commit_full t f;
-      drop t f;
-      reschedule_next t;
-      f.on_complete ()
+  if not (Pqueue.is_empty t.heap) then begin
+    let f = Pqueue.min_value t.heap in
+    Pqueue.drop_min t.heap;
+    f.heap_h <- Pqueue.null_handle;
+    settle_flow t f;
+    commit_full t f;
+    drop t f;
+    reschedule_next t;
+    f.on_complete ()
+  end
+
+let create ~engine ~metrics ~bandwidth_gbs ~sharing =
+  if bandwidth_gbs <= 0.0 then invalid_arg "Io_subsystem.create: bandwidth must be positive";
+  let seg_lo, seg_hi = Metrics.segment metrics in
+  let now = Engine.now engine in
+  let t =
+    {
+      engine;
+      metrics;
+      bandwidth = bandwidth_gbs;
+      sharing;
+      flows = Hashtbl.create 64;
+      heap = Pqueue.create ();
+      next_id = 0;
+      transferred_committed = 0.0;
+      vclock = 0.0;
+      t_last = now;
+      total_weight = 0.0;
+      nflows = 0;
+      next_ev = Engine.none;
+      cb_completion = ignore;
+      seg_lo;
+      seg_hi;
+      v_seg_lo = (if now >= seg_lo then Some 0.0 else None);
+      v_seg_hi = (if now >= seg_hi then Some 0.0 else None);
+    }
+  in
+  t.cb_completion <- on_next_completion t;
+  t
 
 let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
   if nodes <= 0 then invalid_arg "Io_subsystem.start_flow: non-positive node count";
@@ -248,19 +262,18 @@ let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
         committed_gb = 0.0;
         live = true;
         in_set = false;
-        heap_h = None;
-        zv_ev = None;
+        heap_h = Pqueue.null_handle;
+        zv_ev = Engine.none;
         on_complete;
       }
     in
     f.zv_ev <-
-      Some
-        (Engine.schedule_after t.engine ~kind:Ev_kind.io ~delay:0.0 (fun _ ->
-             f.zv_ev <- None;
-             if f.live then begin
-               f.live <- false;
-               f.on_complete ()
-             end));
+      Engine.schedule_after t.engine ~kind:Ev_kind.io ~delay:0.0 (fun _ ->
+          f.zv_ev <- Engine.none;
+          if f.live then begin
+            f.live <- false;
+            f.on_complete ()
+          end);
     f
   end
   else begin
@@ -285,15 +298,15 @@ let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
         committed_gb = 0.0;
         live = true;
         in_set = true;
-        heap_h = None;
-        zv_ev = None;
+        heap_h = Pqueue.null_handle;
+        zv_ev = Engine.none;
         on_complete;
       }
     in
     Hashtbl.replace t.flows id f;
     t.total_weight <- t.total_weight +. weight;
     t.nflows <- t.nflows + 1;
-    f.heap_h <- Some (Pqueue.add t.heap ~priority:f.v_done f);
+    f.heap_h <- Pqueue.add t.heap ~priority:f.v_done f;
     reschedule_next t;
     f
   end
@@ -307,11 +320,10 @@ let abort_flow t f =
       reschedule_next t
     end
     else begin
-      (match f.zv_ev with
-      | Some h ->
-          ignore (Engine.cancel t.engine h);
-          f.zv_ev <- None
-      | None -> ());
+      if not (Engine.is_none f.zv_ev) then begin
+        ignore (Engine.cancel t.engine f.zv_ev);
+        f.zv_ev <- Engine.none
+      end;
       f.live <- false
     end
 

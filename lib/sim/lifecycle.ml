@@ -40,19 +40,30 @@ and start_instance w entry nodes =
       compute_start = now w;
       uncommitted = [];
       last_commit_end = now w;
-      ckpt_request_ev = None;
-      work_done_ev = None;
+      ckpt_request_ev = Engine.none;
+      work_done_ev = Engine.none;
       wait_start = now w;
       ckpt_content = 0.0;
       holds_token = false;
       committed_local = 0.0;
       local_safe_time = now w;
       local_pause_start = now w;
-      local_tick_ev = None;
-      local_done_ev = None;
-      delay_ev = None;
+      local_tick_ev = Engine.none;
+      local_done_ev = Engine.none;
+      delay_ev = Engine.none;
+      cb_work_done = ignore;
+      cb_ckpt_request = ignore;
+      cb_local_tick = ignore;
+      cb_local_done = ignore;
     }
   in
+  (* The recycled callbacks: one closure each per instance, re-armed by
+     every periodic reschedule instead of a fresh closure per event. *)
+  inst.cb_work_done <-
+    (fun _ ->
+      inst.work_done_ev <- Engine.none;
+      on_work_complete w inst);
+  Ckpt_path.install_callbacks w inst;
   w.next_inst <- w.next_inst + 1;
   w.jobs_started <- w.jobs_started + 1;
   Hashtbl.replace w.insts inst.idx inst;
@@ -64,12 +75,12 @@ and start_instance w entry nodes =
       inst.activity <- Local_recovery;
       inst.wait_start <- now w;
       inst.delay_ev <-
-        Some
-          (Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:m.Config.local_recovery_s (fun _ ->
-               inst.delay_ev <- None;
-               Metrics.record w.metrics ~t0:inst.wait_start ~t1:(now w)
-                 ~nodes:inst.spec.Jobgen.nodes Metrics.Recovery_io;
-               on_blocking_io_done w inst Io.Recovery))
+        Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:m.Config.local_recovery_s
+          (fun _ ->
+            inst.delay_ev <- Engine.none;
+            Metrics.record w.metrics ~t0:inst.wait_start ~t1:(now w)
+              ~nodes:inst.spec.Jobgen.nodes Metrics.Recovery_io;
+            on_blocking_io_done w inst Io.Recovery)
   | (Fresh | Soft | Hard), _ ->
       let volume =
         if entry.e_restart <> Fresh then
@@ -152,10 +163,8 @@ and start_compute w inst =
   inst.activity <- Computing;
   inst.compute_start <- now w;
   inst.work_done_ev <-
-    Some
-      (Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:(Float.max left 0.0) (fun _ ->
-           inst.work_done_ev <- None;
-           on_work_complete w inst))
+    Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:(Float.max left 0.0)
+      inst.cb_work_done
 
 and on_work_complete w inst =
   emit_inst w inst Trace.Work_completed;

@@ -57,8 +57,10 @@ type inst = {
   mutable compute_start : float;
   mutable uncommitted : (float * float) list;  (* work intervals since last commit *)
   mutable last_commit_end : float;
-  mutable ckpt_request_ev : Engine.handle option;
-  mutable work_done_ev : Engine.handle option;
+  (* Armed calendar events, [Engine.none] when absent: an [option] here
+     would cost a [Some] allocation every time a periodic event re-arms. *)
+  mutable ckpt_request_ev : Engine.handle;
+  mutable work_done_ev : Engine.handle;
   mutable wait_start : float;
   mutable ckpt_content : float;  (* work level a commit in flight captures *)
   mutable holds_token : bool;
@@ -66,9 +68,17 @@ type inst = {
   mutable committed_local : float;  (* work level of the newest local snapshot *)
   mutable local_safe_time : float;  (* wall time of that capture point *)
   mutable local_pause_start : float;
-  mutable local_tick_ev : Engine.handle option;
-  mutable local_done_ev : Engine.handle option;
-  mutable delay_ev : Engine.handle option;  (* local-recovery delay *)
+  mutable local_tick_ev : Engine.handle;
+  mutable local_done_ev : Engine.handle;
+  mutable delay_ev : Engine.handle;  (* local-recovery delay *)
+  (* Recycled event callbacks, built once per instance ({!Lifecycle} and
+     {!Ckpt_path} install them at start): the periodic schedule sites
+     (work-done, checkpoint request, local ticks) re-arm these instead of
+     allocating a fresh closure per event. *)
+  mutable cb_work_done : Engine.t -> unit;
+  mutable cb_ckpt_request : Engine.t -> unit;
+  mutable cb_local_tick : Engine.t -> unit;
+  mutable cb_local_done : Engine.t -> unit;
 }
 
 type rkind = Req_ckpt | Req_io of Io.io_kind
@@ -174,26 +184,24 @@ let unwired : 'a. 'a -> unit =
  fun _ -> invalid_arg "Sim_types: continuation used before Simulator.run wired it"
 
 let cancel_ckpt_request_ev w inst =
-  match inst.ckpt_request_ev with
-  | Some h ->
-      ignore (Engine.cancel w.engine h);
-      inst.ckpt_request_ev <- None
-  | None -> ()
+  if not (Engine.is_none inst.ckpt_request_ev) then begin
+    ignore (Engine.cancel w.engine inst.ckpt_request_ev);
+    inst.ckpt_request_ev <- Engine.none
+  end
 
 let cancel_work_done_ev w inst =
-  match inst.work_done_ev with
-  | Some h ->
-      ignore (Engine.cancel w.engine h);
-      inst.work_done_ev <- None
-  | None -> ()
+  if not (Engine.is_none inst.work_done_ev) then begin
+    ignore (Engine.cancel w.engine inst.work_done_ev);
+    inst.work_done_ev <- Engine.none
+  end
 
 let cancel_local_events w inst =
-  List.iter
-    (fun h_opt -> match h_opt with Some h -> ignore (Engine.cancel w.engine h) | None -> ())
-    [ inst.local_tick_ev; inst.local_done_ev; inst.delay_ev ];
-  inst.local_tick_ev <- None;
-  inst.local_done_ev <- None;
-  inst.delay_ev <- None
+  if not (Engine.is_none inst.local_tick_ev) then ignore (Engine.cancel w.engine inst.local_tick_ev);
+  if not (Engine.is_none inst.local_done_ev) then ignore (Engine.cancel w.engine inst.local_done_ev);
+  if not (Engine.is_none inst.delay_ev) then ignore (Engine.cancel w.engine inst.delay_ev);
+  inst.local_tick_ev <- Engine.none;
+  inst.local_done_ev <- Engine.none;
+  inst.delay_ev <- Engine.none
 
 (* Close the open compute interval: bank the work and remember the interval
    as uncommitted until the next checkpoint commits (or a failure loses it). *)

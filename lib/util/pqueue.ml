@@ -1,128 +1,271 @@
-(* Array-backed binary heap. Each slot stores its handle; the handle stores
-   the slot index back, updated on every swap, so removal by handle is a
-   sift from a known position. A dead handle holds [-1]. *)
+(* Struct-of-arrays binary min-heap with recycled integer handles.
 
-type 'a handle = { mutable pos : int }
+   The predecessor stored one record per entry ({priority; seq; tag; value;
+   handle}) plus a mutable handle record and a boxed float priority — three
+   minor-heap allocations per [add], and [update_priority] copied the whole
+   entry. At exascale event rates (year-scale, 50k-node calendars) that
+   churn dominates the simulator's hot path, so this version keeps the heap
+   as parallel arrays and allocates nothing per operation:
 
-type 'a entry = {
-  priority : float;
-  seq : int;
-  tag : int;
-  value : 'a;
-  handle : 'a handle;
-}
+   - [prio] (a flat, unboxed [float array]), [seq] and [hslot] are indexed
+     by heap position and move during sifts;
+   - [pos], [gen], [tag] and [value] are indexed by *slot* — a small
+     integer naming the entry for its whole stay — and never move;
+   - a handle is one tagged integer, [(generation lsl 30) lor slot].
+
+   Slots are drawn from a freelist stack and recycled. Each recycling bumps
+   the slot's generation, so a stale handle (popped, removed or cleared)
+   can never alias the slot's next tenant: [mem] checks the generation
+   embedded in the handle against the slot's current one. Generations are
+   33-bit and monotone per slot; wrap-around would need ~8e9 reuses of a
+   single slot.
+
+   Dead slots must not pin their last value against the GC, but a generic
+   ['a array] has no fabricated null to store. The queue instead keeps the
+   first value it ever sees as a permanent filler ([filler], an array of
+   length 0 or 1 so reads stay match-free) and overwrites dead slots with
+   it on every free — exactly one caller value is pinned for the queue's
+   lifetime, and everything else is collectable as soon as it leaves.
+
+   Sifts are hole-based: the moving element rides in registers/arguments
+   and each step shifts one element into the hole (4 array stores) instead
+   of swapping (8), writing the mover once at its final position. *)
+
+type 'a handle = int
+
+let slot_bits = 30
+let slot_mask = (1 lsl slot_bits) - 1
+let null_handle : 'a handle = -1
+let is_null h = h < 0
 
 type 'a t = {
-  mutable data : 'a entry array;
+  (* heap-position-indexed *)
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable hslot : int array;  (* heap position -> slot *)
+  (* slot-indexed *)
+  mutable pos : int array;  (* slot -> heap position; -1 when free *)
+  mutable gen : int array;  (* slot -> generation of the current tenancy *)
+  mutable tag : int array;
+  mutable value : 'a array;  (* free slots hold the filler *)
+  mutable filler : 'a array;  (* [||] until the first add, then [| dummy |] *)
+  mutable free : int array;  (* freelist stack of recycled slots *)
+  mutable free_top : int;
+  mutable slots_used : int;  (* slot high-water mark *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () =
+  {
+    prio = [||];
+    seq = [||];
+    hslot = [||];
+    pos = [||];
+    gen = [||];
+    tag = [||];
+    value = [||];
+    filler = [||];
+    free = [||];
+    free_top = 0;
+    slots_used = 0;
+    size = 0;
+    next_seq = 0;
+  }
+
 let length t = t.size
 let is_empty t = t.size = 0
 
-let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+(* Every live entry owns exactly one slot, so one capacity serves both the
+   position arrays and the slot arrays. The incoming value seeds the
+   filler, so the queue never fabricates an ['a]. *)
+let ensure_capacity t v =
+  let cap = Array.length t.prio in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let fill = if Array.length t.filler = 0 then v else t.filler.(0) in
+    let grow_int a = let n = Array.make ncap 0 in Array.blit a 0 n 0 cap; n in
+    let nprio = Array.make ncap 0.0 in
+    Array.blit t.prio 0 nprio 0 cap;
+    t.prio <- nprio;
+    t.seq <- grow_int t.seq;
+    t.hslot <- grow_int t.hslot;
+    let npos = Array.make ncap (-1) in
+    Array.blit t.pos 0 npos 0 cap;
+    t.pos <- npos;
+    t.gen <- grow_int t.gen;
+    t.tag <- grow_int t.tag;
+    let nvalue = Array.make ncap fill in
+    Array.blit t.value 0 nvalue 0 t.slots_used;
+    t.value <- nvalue;
+    t.free <- grow_int t.free;
+    if Array.length t.filler = 0 then t.filler <- [| fill |]
+  end
 
-let set t i e =
-  t.data.(i) <- e;
-  e.handle.pos <- i
+let alloc_slot t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free.(t.free_top)
+  end
+  else begin
+    let s = t.slots_used in
+    if s = slot_mask then invalid_arg "Pqueue: slot capacity exceeded";
+    t.slots_used <- s + 1;
+    s
+  end
 
-let swap t i j =
-  let ei = t.data.(i) and ej = t.data.(j) in
-  set t i ej;
-  set t j ei
+(* Bumping the generation here (not at alloc) invalidates every handle of
+   the finished tenancy at once; the next tenant's handles carry the bumped
+   value. *)
+let free_slot t slot =
+  t.pos.(slot) <- -1;
+  t.gen.(slot) <- t.gen.(slot) + 1;
+  t.value.(slot) <- t.filler.(0);
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1
 
-let rec sift_up t i =
-  if i > 0 then begin
+(* Hole-based sifts: (p, s, slot) is the element in flight; [i] is the hole. *)
+let[@inline] place t i p s slot =
+  t.prio.(i) <- p;
+  t.seq.(i) <- s;
+  t.hslot.(i) <- slot;
+  t.pos.(slot) <- i
+
+let rec sift_up t i p s slot =
+  if i = 0 then place t i p s slot
+  else begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+    let pp = t.prio.(parent) in
+    if p < pp || (p = pp && s < t.seq.(parent)) then begin
+      t.prio.(i) <- pp;
+      t.seq.(i) <- t.seq.(parent);
+      let ps = t.hslot.(parent) in
+      t.hslot.(i) <- ps;
+      t.pos.(ps) <- i;
+      sift_up t parent p s slot
     end
+    else place t i p s slot
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+let rec sift_down t i p s slot =
+  let l = (2 * i) + 1 in
+  if l >= t.size then place t i p s slot
+  else begin
+    let r = l + 1 in
+    let c =
+      if r < t.size
+         && (t.prio.(r) < t.prio.(l)
+            || (t.prio.(r) = t.prio.(l) && t.seq.(r) < t.seq.(l)))
+      then r
+      else l
+    in
+    let pc = t.prio.(c) in
+    if pc < p || (pc = p && t.seq.(c) < s) then begin
+      t.prio.(i) <- pc;
+      t.seq.(i) <- t.seq.(c);
+      let cs = t.hslot.(c) in
+      t.hslot.(i) <- cs;
+      t.pos.(cs) <- i;
+      sift_down t c p s slot
+    end
+    else place t i p s slot
   end
 
-(* The incoming entry doubles as filler for the unused tail slots, so the
-   array never holds a fabricated value. *)
-let ensure_capacity t filler =
-  let cap = Array.length t.data in
-  if t.size >= cap then begin
-    let new_cap = if cap = 0 then 16 else cap * 2 in
-    let data = Array.make new_cap filler in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
-  end
+let add_tagged t ~priority ~tag v =
+  ensure_capacity t v;
+  let slot = alloc_slot t in
+  t.value.(slot) <- v;
+  t.tag.(slot) <- tag;
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  let i = t.size in
+  t.size <- i + 1;
+  sift_up t i priority s slot;
+  (t.gen.(slot) lsl slot_bits) lor slot
 
-let add_tagged t ~priority ~tag value =
-  let handle = { pos = -1 } in
-  let e = { priority; seq = t.next_seq; tag; value; handle } in
-  t.next_seq <- t.next_seq + 1;
-  ensure_capacity t e;
-  set t t.size e;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1);
-  handle
-
-let add t ~priority value = add_tagged t ~priority ~tag:0 value
+let add t ~priority v = add_tagged t ~priority ~tag:0 v
 
 let remove_at t i =
-  let e = t.data.(i) in
-  e.handle.pos <- -1;
+  free_slot t t.hslot.(i);
   t.size <- t.size - 1;
   if i < t.size then begin
-    set t i t.data.(t.size);
-    (* The moved element may need to go either direction. *)
-    sift_down t i;
-    sift_up t i
+    (* Reinsert the detached last element at the hole; it may need to move
+       either direction. *)
+    let p = t.prio.(t.size) and s = t.seq.(t.size) and ls = t.hslot.(t.size) in
+    if
+      i > 0
+      &&
+      let parent = (i - 1) / 2 in
+      let pp = t.prio.(parent) in
+      p < pp || (p = pp && s < t.seq.(parent))
+    then sift_up t i p s ls
+    else sift_down t i p s ls
   end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let e = t.data.(0) in
+    let p = t.prio.(0) and v = t.value.(t.hslot.(0)) in
     remove_at t 0;
-    Some (e.priority, e.value)
+    Some (p, v)
   end
 
 let pop_tagged t =
   if t.size = 0 then None
   else begin
-    let e = t.data.(0) in
+    let slot = t.hslot.(0) in
+    let p = t.prio.(0) and tag = t.tag.(slot) and v = t.value.(slot) in
     remove_at t 0;
-    Some (e.priority, e.tag, e.value)
+    Some (p, tag, v)
   end
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+(* Allocation-free root accessors for the event loop: [pop]/[peek] box a
+   tuple and an option per call, which at calendar rates is real churn. *)
+let[@inline] min_priority t =
+  if t.size = 0 then invalid_arg "Pqueue.min_priority: empty queue";
+  t.prio.(0)
 
-let mem t h = h.pos >= 0 && h.pos < t.size && t.data.(h.pos).handle == h
+let[@inline] min_tag t =
+  if t.size = 0 then invalid_arg "Pqueue.min_tag: empty queue";
+  t.tag.(t.hslot.(0))
+
+let[@inline] min_value t =
+  if t.size = 0 then invalid_arg "Pqueue.min_value: empty queue";
+  t.value.(t.hslot.(0))
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Pqueue.drop_min: empty queue";
+  remove_at t 0
+
+let peek t = if t.size = 0 then None else Some (t.prio.(0), t.value.(t.hslot.(0)))
+
+let[@inline] mem t h =
+  h >= 0
+  &&
+  let slot = h land slot_mask in
+  slot < t.slots_used && t.gen.(slot) = h asr slot_bits && t.pos.(slot) >= 0
 
 let remove t h =
   if mem t h then begin
-    remove_at t h.pos;
+    remove_at t t.pos.(h land slot_mask);
     true
   end
   else false
 
-let priority_of t h = if mem t h then Some t.data.(h.pos).priority else None
-let tag_of t h = if mem t h then Some t.data.(h.pos).tag else None
+let priority_of t h = if mem t h then Some t.prio.(t.pos.(h land slot_mask)) else None
+let tag_of t h = if mem t h then Some t.tag.(h land slot_mask) else None
 
 let update_priority t h ~priority =
   if mem t h then begin
-    let i = h.pos in
-    let e = t.data.(i) in
-    if priority <> e.priority then begin
-      set t i { e with priority };
-      if priority < e.priority then sift_up t i else sift_down t i
+    let slot = h land slot_mask in
+    let i = t.pos.(slot) in
+    let old = t.prio.(i) in
+    (* An equal-priority retime is a no-op: the seq (FIFO rank) is pinned
+       at add time, so the heap invariant still holds untouched. *)
+    if priority <> old then begin
+      let s = t.seq.(i) in
+      if priority < old then sift_up t i priority s slot
+      else sift_down t i priority s slot
     end;
     true
   end
@@ -130,11 +273,15 @@ let update_priority t h ~priority =
 
 let clear t =
   for i = 0 to t.size - 1 do
-    t.data.(i).handle.pos <- -1
+    free_slot t t.hslot.(i)
   done;
   t.size <- 0
 
 let to_sorted_list t =
-  let entries = Array.sub t.data 0 t.size in
-  Array.sort (fun a b -> if less a b then -1 else if less b a then 1 else 0) entries;
-  Array.to_list (Array.map (fun e -> (e.priority, e.value)) entries)
+  let entries =
+    Array.init t.size (fun i -> (t.prio.(i), t.seq.(i), t.value.(t.hslot.(i))))
+  in
+  Array.sort
+    (fun (pa, sa, _) (pb, sb, _) -> if pa <> pb then compare pa pb else compare sa sb)
+    entries;
+  Array.to_list (Array.map (fun (p, _, v) -> (p, v)) entries)

@@ -7,14 +7,33 @@
 
     Ordering is by [priority] (a float, e.g. simulation time) with an integer
     sequence number breaking ties FIFO, so equal-time events pop in insertion
-    order — a requirement for deterministic simulation. *)
+    order — a requirement for deterministic simulation.
+
+    The layout is struct-of-arrays: priorities live in a flat [float array],
+    bookkeeping in [int array]s, and a handle is a single tagged integer
+    (generation + recycled slot), so [add]/[pop]/[update_priority] allocate
+    nothing. One caveat follows from the representation: the first value
+    ever added is retained as the internal null filler for the queue's
+    lifetime (every other value is released as soon as it leaves). *)
 
 type 'a t
+
 type 'a handle
+(** A recycled integer slot tagged with a generation: immediate (no heap
+    block), and stale handles never alias a slot's next tenant. *)
 
 val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val null_handle : 'a handle
+(** A handle that is never live ({!mem} is [false], {!remove} is a no-op);
+    the idiomatic "no event" sentinel where an [option] wrapper would cost
+    an allocation per store. *)
+
+val is_null : 'a handle -> bool
+(** Whether the handle is {!null_handle}. A non-null handle may still be
+    dead (popped or removed); {!mem} is the liveness test. *)
 
 val add : 'a t -> priority:float -> 'a -> 'a handle
 (** Insert; the handle stays valid until the element is popped or removed.
@@ -34,6 +53,20 @@ val pop_tagged : 'a t -> (float * int * 'a) option
 (** {!pop}, also returning the entry's tag. *)
 
 val peek : 'a t -> (float * 'a) option
+
+(** {2 Allocation-free root access}
+
+    [pop]/[peek] box an option and a tuple per call; the discrete-event
+    loop instead reads the root piecewise and then drops it, allocating
+    nothing. All four raise [Invalid_argument] on an empty queue — guard
+    with {!is_empty}. *)
+
+val min_priority : 'a t -> float
+val min_tag : 'a t -> int
+val min_value : 'a t -> 'a
+
+val drop_min : 'a t -> unit
+(** Remove the root ({!min_priority}'s entry) without returning it. *)
 
 val remove : 'a t -> 'a handle -> bool
 (** [remove t h] cancels the entry behind [h]. Returns [false] when the

@@ -1,0 +1,143 @@
+(* Frozen pre-SoA Pqueue, kept verbatim as the differential oracle for
+   the struct-of-arrays rewrite (test_pqueue_differential). Record-per-entry
+   binary heap: each slot stores its handle; the handle stores the slot
+   index back, updated on every swap, so removal by handle is a sift from a
+   known position. A dead handle holds [-1]. Do not "improve" this file —
+   its value is being the old implementation, byte for byte. *)
+
+type 'a handle = { mutable pos : int }
+
+type 'a entry = {
+  priority : float;
+  seq : int;
+  tag : int;
+  value : 'a;
+  handle : 'a handle;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let set t i e =
+  t.data.(i) <- e;
+  e.handle.pos <- i
+
+let swap t i j =
+  let ei = t.data.(i) and ej = t.data.(j) in
+  set t i ej;
+  set t j ei
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+(* The incoming entry doubles as filler for the unused tail slots, so the
+   array never holds a fabricated value. *)
+let ensure_capacity t filler =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let data = Array.make new_cap filler in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let add_tagged t ~priority ~tag value =
+  let handle = { pos = -1 } in
+  let e = { priority; seq = t.next_seq; tag; value; handle } in
+  t.next_seq <- t.next_seq + 1;
+  ensure_capacity t e;
+  set t t.size e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  handle
+
+let add t ~priority value = add_tagged t ~priority ~tag:0 value
+
+let remove_at t i =
+  let e = t.data.(i) in
+  e.handle.pos <- -1;
+  t.size <- t.size - 1;
+  if i < t.size then begin
+    set t i t.data.(t.size);
+    (* The moved element may need to go either direction. *)
+    sift_down t i;
+    sift_up t i
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    remove_at t 0;
+    Some (e.priority, e.value)
+  end
+
+let pop_tagged t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    remove_at t 0;
+    Some (e.priority, e.tag, e.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+
+let mem t h = h.pos >= 0 && h.pos < t.size && t.data.(h.pos).handle == h
+
+let remove t h =
+  if mem t h then begin
+    remove_at t h.pos;
+    true
+  end
+  else false
+
+let priority_of t h = if mem t h then Some t.data.(h.pos).priority else None
+let tag_of t h = if mem t h then Some t.data.(h.pos).tag else None
+
+let update_priority t h ~priority =
+  if mem t h then begin
+    let i = h.pos in
+    let e = t.data.(i) in
+    if priority <> e.priority then begin
+      set t i { e with priority };
+      if priority < e.priority then sift_up t i else sift_down t i
+    end;
+    true
+  end
+  else false
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.data.(i).handle.pos <- -1
+  done;
+  t.size <- 0
+
+let to_sorted_list t =
+  let entries = Array.sub t.data 0 t.size in
+  Array.sort (fun a b -> if less a b then -1 else if less b a then 1 else 0) entries;
+  Array.to_list (Array.map (fun e -> (e.priority, e.value)) entries)

@@ -51,17 +51,21 @@ let mk_inst ~pool ~idx ~nodes ~last_commit_end ~ckpt_gb ~bandwidth_gbs =
     compute_start = 0.0;
     uncommitted = [];
     last_commit_end;
-    ckpt_request_ev = None;
-    work_done_ev = None;
+    ckpt_request_ev = T.Engine.none;
+    work_done_ev = T.Engine.none;
     wait_start = 0.0;
     ckpt_content = 0.0;
     holds_token = false;
     committed_local = 0.0;
     local_safe_time = 0.0;
     local_pause_start = 0.0;
-    local_tick_ev = None;
-    local_done_ev = None;
-    delay_ev = None;
+    local_tick_ev = T.Engine.none;
+    local_done_ev = T.Engine.none;
+    delay_ev = T.Engine.none;
+    cb_work_done = ignore;
+    cb_ckpt_request = ignore;
+    cb_local_tick = ignore;
+    cb_local_done = ignore;
   }
 
 (* ------------------------------------------------------------------ *)

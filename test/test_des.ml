@@ -147,6 +147,46 @@ let test_reschedule_dead_handles () =
   Alcotest.(check bool) "cancelled handle is false" false
     (Engine.reschedule e cancelled ~time:9.0)
 
+let test_cancel_during_own_fire () =
+  (* The firing event has already left the calendar: a self-cancel from
+     inside its handler must report false and leave later events intact. *)
+  let e = Engine.create () in
+  let h = ref Engine.none in
+  let self_cancel = ref true and later = ref false in
+  h :=
+    Engine.schedule_at e ~time:1.0 (fun eng -> self_cancel := Engine.cancel eng !h);
+  ignore (Engine.schedule_at e ~time:2.0 (fun _ -> later := true));
+  Engine.run e;
+  Alcotest.(check bool) "self-cancel during fire is false" false !self_cancel;
+  Alcotest.(check bool) "later event unharmed" true !later
+
+let test_stale_handle_does_not_alias_reused_slot () =
+  (* After an event fires its calendar slot is recycled; the generation tag
+     must keep the stale handle from cancelling the slot's next tenant. *)
+  let e = Engine.create () in
+  let stale = Engine.schedule_at e ~time:1.0 (fun _ -> ()) in
+  Engine.run e;
+  let fired = ref false in
+  ignore (Engine.schedule_at e ~time:2.0 (fun _ -> fired := true));
+  Alcotest.(check bool) "stale pending is false" false (Engine.pending e stale);
+  Alcotest.(check bool) "stale cancel is false" false (Engine.cancel e stale);
+  Engine.run e;
+  Alcotest.(check bool) "new tenant still fires" true !fired
+
+let test_reschedule_equal_time_keeps_fifo () =
+  (* Retiming onto the current time reports success without re-sifting, so
+     the add-time seq — and with it the FIFO tie-break — must survive. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag = fun _ -> log := tag :: !log in
+  let h = Engine.schedule_at e ~time:1.0 (note "first") in
+  ignore (Engine.schedule_at e ~time:1.0 (note "second"));
+  Alcotest.(check bool) "equal-time retime succeeds" true (Engine.reschedule e h ~time:1.0);
+  Alcotest.(check (option (float 0.0))) "time unchanged" (Some 1.0) (Engine.time_of e h);
+  Engine.run e;
+  Alcotest.(check (list string)) "seq tie-break survives" [ "first"; "second" ]
+    (List.rev !log)
+
 let test_reschedule_past_rejected () =
   let e = Engine.create ~start:10.0 () in
   let h = Engine.schedule_at e ~time:12.0 (fun _ -> ()) in
@@ -188,6 +228,26 @@ let test_stats_unknown_kind_folds_to_other () =
       Alcotest.(check string) "slot 0" "other" k0;
       Alcotest.(check int) "scheduled folded" 1 s0;
       Alcotest.(check int) "fired folded" 1 f0
+  | [] -> Alcotest.fail "no kinds"
+
+let test_stats_negative_kind_folds_to_other () =
+  (* Negative kinds are as out-of-range as large ones: all three counters
+     (scheduled, fired, cancelled) must fold into slot 0. *)
+  let e = Engine.create () in
+  let st = Engine.attach_stats e ~kinds:[| "other"; "known" |] () in
+  ignore (Engine.schedule_at e ~kind:(-5) ~time:1.0 (fun _ -> ()));
+  let victim = Engine.schedule_at e ~kind:(-1) ~time:2.0 (fun _ -> ()) in
+  ignore (Engine.cancel e victim);
+  Engine.run e;
+  match Engine.stats_by_kind st with
+  | (k0, s0, f0, c0) :: rest ->
+      Alcotest.(check string) "slot 0" "other" k0;
+      Alcotest.(check int) "scheduled folded" 2 s0;
+      Alcotest.(check int) "fired folded" 1 f0;
+      Alcotest.(check int) "cancelled folded" 1 c0;
+      List.iter
+        (fun (_, s, f, c) -> Alcotest.(check int) "no spill" 0 (s + f + c))
+        rest
   | [] -> Alcotest.fail "no kinds"
 
 let test_stats_reschedule_counted () =
@@ -254,12 +314,18 @@ let () =
           Alcotest.test_case "reschedule reorders" `Quick test_reschedule_reorders_firing;
           Alcotest.test_case "reschedule dead handles" `Quick test_reschedule_dead_handles;
           Alcotest.test_case "reschedule past rejected" `Quick test_reschedule_past_rejected;
+          Alcotest.test_case "cancel during own fire" `Quick test_cancel_during_own_fire;
+          Alcotest.test_case "stale handle vs reused slot" `Quick
+            test_stale_handle_does_not_alias_reused_slot;
+          Alcotest.test_case "reschedule equal time keeps FIFO" `Quick
+            test_reschedule_equal_time_keeps_fifo;
         ]
         @ [ QCheck_alcotest.to_alcotest ~long:false test_stress_many_events ] );
       ( "stats",
         [
           Alcotest.test_case "counts by kind" `Quick test_stats_counts_by_kind;
           Alcotest.test_case "unknown kind folds" `Quick test_stats_unknown_kind_folds_to_other;
+          Alcotest.test_case "negative kind folds" `Quick test_stats_negative_kind_folds_to_other;
           Alcotest.test_case "reschedule counted" `Quick test_stats_reschedule_counted;
           Alcotest.test_case "tick cadence" `Quick test_stats_tick_hook_cadence;
           Alcotest.test_case "absent by default" `Quick test_stats_absent_by_default;

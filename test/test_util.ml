@@ -439,6 +439,57 @@ let test_pqueue_clear () =
   Alcotest.(check int) "empty after clear" 0 (Pqueue.length q);
   Alcotest.(check bool) "handles dead after clear" false (Pqueue.mem q h)
 
+(* Space-leak regression: the old heap left the popped entry's record in
+   data.(size), keeping the value alive until the slot was overwritten (and
+   clear never nulled the tail at all). The SoA queue overwrites dead value
+   slots with a pinned filler, so a finalized witness must be collectable
+   the moment it leaves the queue. The first value ever added is that
+   filler (pinned by design), hence the throwaway sentinel added first.
+   [@inline never] keeps the witness out of the caller's stack roots. *)
+let[@inline never] leak_witness enqueue_and_release =
+  let q = Pqueue.create () in
+  ignore (Pqueue.add q ~priority:(-1.0) (ref (-1)));
+  (* sentinel = pinned filler *)
+  let w = Weak.create 1 in
+  let () =
+    let witness = ref 42 in
+    Weak.set w 0 (Some witness);
+    enqueue_and_release q witness
+  in
+  Gc.full_major ();
+  Gc.full_major ();
+  (q, Weak.check w 0)
+
+let test_pqueue_pop_releases_value () =
+  let q, alive =
+    leak_witness (fun q witness ->
+        ignore (Pqueue.add q ~priority:1.0 witness);
+        ignore (Pqueue.pop q);
+        (* sentinel out *)
+        ignore (Pqueue.pop q) (* witness out *))
+  in
+  Alcotest.(check int) "queue drained" 0 (Pqueue.length q);
+  Alcotest.(check bool) "witness collected after pop" false alive
+
+let test_pqueue_remove_releases_value () =
+  let q, alive =
+    leak_witness (fun q witness ->
+        let h = Pqueue.add q ~priority:1.0 witness in
+        ignore (Pqueue.add q ~priority:2.0 (ref 0));
+        ignore (Pqueue.remove q h))
+  in
+  Alcotest.(check int) "two survivors" 2 (Pqueue.length q);
+  Alcotest.(check bool) "witness collected after remove" false alive
+
+let test_pqueue_clear_releases_value () =
+  let q, alive =
+    leak_witness (fun q witness ->
+        ignore (Pqueue.add q ~priority:1.0 witness);
+        Pqueue.clear q)
+  in
+  Alcotest.(check int) "cleared" 0 (Pqueue.length q);
+  Alcotest.(check bool) "witness collected after clear" false alive
+
 let test_pqueue_to_sorted_list () =
   let q = Pqueue.create () in
   List.iter (fun p -> ignore (Pqueue.add q ~priority:p p)) [ 3.0; 1.0; 2.0 ];
@@ -621,6 +672,9 @@ let () =
           Alcotest.test_case "priority_of" `Quick test_pqueue_priority_of;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
           Alcotest.test_case "sorted snapshot" `Quick test_pqueue_to_sorted_list;
+          Alcotest.test_case "pop releases value" `Quick test_pqueue_pop_releases_value;
+          Alcotest.test_case "remove releases value" `Quick test_pqueue_remove_releases_value;
+          Alcotest.test_case "clear releases value" `Quick test_pqueue_clear_releases_value;
         ]
         @ qsuite
             [ test_pqueue_ordering; test_pqueue_random_removals; test_pqueue_random_updates ] );
