@@ -286,15 +286,16 @@ let micro_tests () =
           wait_start = 0.0;
           ckpt_content = 0.0;
           holds_token = false;
-          committed_local = 0.0;
-          local_safe_time = 0.0;
+          committed_local = [||];
+          local_safe_time = [||];
+          local_level = 0;
           local_pause_start = 0.0;
-          local_tick_ev = T.Engine.none;
+          local_tick_ev = [||];
           local_done_ev = T.Engine.none;
           delay_ev = T.Engine.none;
           cb_work_done = ignore;
           cb_ckpt_request = ignore;
-          cb_local_tick = ignore;
+          cb_local_tick = [||];
           cb_local_done = ignore;
         }
       in
@@ -437,6 +438,36 @@ let run_micro pool =
       in
       let cfg =
         Config.make ~platform ~strategy:Strategy.Least_waste ~seed:7 ~days:90.0 ()
+      in
+      ignore (Simulator.run cfg));
+  (* Three-level hierarchy — node-local snapshots, a burst buffer with a
+     dedicated flush edge, the PFS — under Least-Waste: the Ckpt_hierarchy
+     end-to-end trajectory number. *)
+  e2e "simulate-60day-lw-ml3" (fun () ->
+      let multilevel =
+        {
+          Config.levels =
+            [
+              Config.Snapshot
+                {
+                  Config.sl_period_s = 600.0;
+                  sl_cost_s = 5.0;
+                  sl_recovery_s = 30.0;
+                  sl_survival = 0.5;
+                };
+              Config.Buffer
+                {
+                  Config.bl_capacity_gb = 250_000.0;
+                  bl_bandwidth_gbs = 1_000.0;
+                  bl_flush_gbs = Some 20.0;
+                  bl_survival = 1.0;
+                };
+            ];
+        }
+      in
+      let cfg =
+        Config.make ~platform ~strategy:Strategy.Least_waste ~seed:7 ~days:60.0
+          ~multilevel ()
       in
       ignore (Simulator.run cfg));
   run_campaign_resume pool e2e

@@ -118,21 +118,27 @@ let multilevel_conv =
           (float_of_string_opt p, float_of_string_opt c, float_of_string_opt r,
            float_of_string_opt f)
         with
-        | Some local_period_s, Some local_cost_s, Some local_recovery_s, Some soft_fraction
-          ->
+        | Some period_s, Some cost_s, Some recovery_s, Some soft_fraction ->
             Ok
-              {
-                Cocheck_sim.Config.local_period_s;
-                local_cost_s;
-                local_recovery_s;
-                soft_fraction;
-              }
+              (Cocheck_sim.Config.local_level ~period_s ~cost_s ~recovery_s
+                 ~soft_fraction)
         | _ -> Error (`Msg "expected four numbers: period,cost,recovery,soft_fraction"))
     | _ -> Error (`Msg "expected PERIOD,COST,RECOVERY,SOFT (seconds,seconds,seconds,[0-1])")
   in
+  let pp_level ppf = function
+    | Cocheck_sim.Config.Snapshot s ->
+        Format.fprintf ppf "snapshot:%g,%g,%g,%g" s.Cocheck_sim.Config.sl_period_s
+          s.sl_cost_s s.sl_recovery_s s.sl_survival
+    | Cocheck_sim.Config.Buffer b ->
+        Format.fprintf ppf "buffer:%g,%g%s,%g" b.Cocheck_sim.Config.bl_capacity_gb
+          b.bl_bandwidth_gbs
+          (match b.bl_flush_gbs with None -> "" | Some f -> Printf.sprintf ",%g" f)
+          b.bl_survival
+  in
   let pp ppf (m : Cocheck_sim.Config.multilevel) =
-    Format.fprintf ppf "%g,%g,%g,%g" m.local_period_s m.local_cost_s m.local_recovery_s
-      m.soft_fraction
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ';')
+      pp_level ppf m.Cocheck_sim.Config.levels
   in
   Arg.conv (parse, pp)
 
@@ -141,6 +147,70 @@ let multilevel_t =
        & opt (some multilevel_conv) None
        & info [ "multilevel" ] ~docv:"P,C,R,SOFT"
            ~doc:"Two-level checkpointing: local period (s), local snapshot cost (s),                  local recovery (s), soft-failure fraction. E.g. 600,5,10,0.6.")
+
+(* Buffer tiers of the checkpoint hierarchy: semicolon-separated levels,
+   shallow to deep, each CAP,BW[,FLUSH[,SURV]]. A FLUSH gives the level a
+   dedicated background-drain edge; omitting it serializes the drain into
+   the next level's pool (the classic burst-buffer behavior). *)
+let hierarchy_conv =
+  let parse_level s =
+    let parts = List.map float_of_string_opt (String.split_on_char ',' (String.trim s)) in
+    let buf cap bw flush surv =
+      Ok
+        (Cocheck_sim.Config.Buffer
+           {
+             Cocheck_sim.Config.bl_capacity_gb = cap;
+             bl_bandwidth_gbs = bw;
+             bl_flush_gbs = flush;
+             bl_survival = surv;
+           })
+    in
+    match parts with
+    | [ Some cap; Some bw ] -> buf cap bw None 1.0
+    | [ Some cap; Some bw; Some fl ] -> buf cap bw (Some fl) 1.0
+    | [ Some cap; Some bw; Some fl; Some sv ] -> buf cap bw (Some fl) sv
+    | _ -> Error (`Msg "each level is CAP_GB,BW_GBS[,FLUSH_GBS[,SURVIVAL]]")
+  in
+  let parse s =
+    let rec collect = function
+      | [] -> Ok []
+      | l :: rest -> (
+          match parse_level l with
+          | Error _ as e -> e
+          | Ok level -> (
+              match collect rest with
+              | Error _ as e -> e
+              | Ok levels -> Ok (level :: levels)))
+    in
+    match collect (String.split_on_char ';' s) with
+    | Error e -> Error e
+    | Ok [] -> Error (`Msg "expected at least one level")
+    | Ok levels -> Ok levels
+  in
+  let pp ppf levels =
+    Format.fprintf ppf "%d buffer level(s)" (List.length levels)
+  in
+  Arg.conv (parse, pp)
+
+let hierarchy_t =
+  Arg.(value
+       & opt (some hierarchy_conv) None
+       & info [ "hierarchy" ] ~docv:"CAP,BW[,FLUSH[,SURV]];..."
+           ~doc:"Checkpoint-hierarchy buffer tiers, shallow to deep: capacity (GB), \
+                 absorb bandwidth (GB/s), optional dedicated flush bandwidth (GB/s) \
+                 and survival fraction. E.g. 250000,1000,20 for a burst buffer that \
+                 drains to the PFS over a 20 GB/s edge. Composes with --multilevel \
+                 (snapshot tiers come first).")
+
+(* Snapshot tiers (--multilevel) and buffer tiers (--hierarchy) compose
+   into one level list, shallow to deep. *)
+let ml_of multilevel hierarchy =
+  match (multilevel, hierarchy) with
+  | None, None -> None
+  | Some m, None -> Some m
+  | None, Some bufs -> Some { Cocheck_sim.Config.levels = bufs }
+  | Some m, Some bufs ->
+      Some { Cocheck_sim.Config.levels = m.Cocheck_sim.Config.levels @ bufs }
 
 (* Observability outputs, shared by `run` and `observe`. *)
 
@@ -206,12 +276,13 @@ let run_cmd =
                    baseline.")
   in
   let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
-      multilevel trace_out series_out manifest_out sample_dt perfetto_out =
+      multilevel hierarchy trace_out series_out manifest_out sample_dt perfetto_out =
     let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
     Format.printf "%a@." Platform.pp platform;
     let cfg s =
       Config.make ~platform ~strategy:s ~seed ~days ~failure_dist
-        ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
+        ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb)
+        ?multilevel:(ml_of multilevel hierarchy) ()
     in
     let timer = Obs.Timer.create () in
     let trace =
@@ -371,7 +442,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a single simulation and print its waste breakdown.")
     Term.(const action $ strategy_t $ bandwidth_t $ mtbf_years_t $ seed_t $ days_t
-          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t
+          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t $ hierarchy_t
           $ trace_out_t $ series_out_t $ manifest_out_t $ sample_dt_t $ perfetto_out_t)
 
 (* ------------------------------------------------------------------ *)
@@ -494,11 +565,12 @@ let ablation_cmd =
                     [ ("failures", `Failures); ("interference", `Interference);
                       ("burst-buffer", `Bb); ("period", `Period);
                       ("optimal-periods", `Optimal); ("two-level", `Two_level);
-                      ("fixed-period", `Fixed_period); ("all", `All) ])
+                      ("flush", `Flush); ("fixed-period", `Fixed_period);
+                      ("all", `All) ])
              `All
          & info [] ~docv:"STUDY"
              ~doc:"One of failures, interference, burst-buffer, period, \
-                   optimal-periods, all.")
+                   optimal-periods, two-level, flush, fixed-period, all.")
   in
   let action which reps seed days domains =
     with_pool domains (fun pool ->
@@ -512,6 +584,7 @@ let ablation_cmd =
         let run_period () = show (E.Ablations.period_scaling ()) in
         let run_optimal () = show (E.Ablations.optimal_periods ~pool ~reps ~seed ~days ()) in
         let run_two_level () = show (E.Ablations.two_level ~pool ~reps ~seed ~days ()) in
+        let run_flush () = show (E.Ablations.flush_bandwidth ~pool ~reps ~seed ~days ()) in
         let run_fixed () = show (E.Ablations.fixed_period ~pool ~reps ~seed ~days ()) in
         match which with
         | `Failures -> run_failures ()
@@ -520,6 +593,7 @@ let ablation_cmd =
         | `Period -> run_period ()
         | `Optimal -> run_optimal ()
         | `Two_level -> run_two_level ()
+        | `Flush -> run_flush ()
         | `Fixed_period -> run_fixed ()
         | `All ->
             run_failures ();
@@ -528,6 +602,7 @@ let ablation_cmd =
             run_period ();
             run_optimal ();
             run_two_level ();
+            run_flush ();
             run_fixed ())
   in
   Cmd.v
@@ -604,11 +679,12 @@ let report_cmd =
 
 let observe_cmd =
   let action strategy bandwidth mtbf_years seed days prospective failure_dist alpha bb
-      multilevel sample_dt trace_out series_out manifest_out =
+      multilevel hierarchy sample_dt trace_out series_out manifest_out =
     let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
     let cfg =
       Config.make ~platform ~strategy ~seed ~days ~failure_dist
-        ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
+        ~interference_alpha:alpha ?burst_buffer:(bb_spec_of bb)
+        ?multilevel:(ml_of multilevel hierarchy) ()
     in
     let timer = Obs.Timer.create () in
     let registry = Obs.Histogram.registry () in
@@ -652,7 +728,7 @@ let observe_cmd =
           $ bandwidth_t $ mtbf_years_t $ seed_t
           $ Arg.(value & opt float 10.0 & info [ "days" ] ~docv:"DAYS"
                    ~doc:"Segment length.")
-          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t
+          $ prospective_t $ failure_dist_t $ alpha_t $ bb_t $ multilevel_t $ hierarchy_t
           $ sample_dt_t $ trace_out_t $ series_out_t $ manifest_out_t)
 
 (* ------------------------------------------------------------------ *)
@@ -820,9 +896,14 @@ let campaign_run_cmd =
   in
   let axis_t =
     Arg.(value
-         & opt (enum [ ("none", `None); ("mtbf", `Mtbf); ("bandwidth", `Bandwidth) ]) `None
+         & opt (enum
+                  [ ("none", `None); ("mtbf", `Mtbf); ("bandwidth", `Bandwidth);
+                    ("flush", `Flush) ])
+             `None
          & info [ "axis" ] ~docv:"AXIS"
-             ~doc:"Swept parameter: none (default, a single cell), mtbf, or bandwidth.")
+             ~doc:"Swept parameter: none (default, a single cell), mtbf, bandwidth, \
+                   or flush (background-flush bandwidth of the --hierarchy buffer \
+                   levels, GB/s).")
   in
   let values_t =
     Arg.(value & opt (list ~sep:',' float) [] & info [ "values" ] ~docv:"V1,V2,..."
@@ -857,8 +938,8 @@ let campaign_run_cmd =
                  ui.perfetto.dev.")
   in
   let action spec_file name axis values bandwidth mtbf_years prospective strategies reps
-      seed days failure_dist alpha bb multilevel store save_spec out domains progress
-      trace_out =
+      seed days failure_dist alpha bb multilevel hierarchy store save_spec out domains
+      progress trace_out =
     let spec =
       match spec_file with
       | Some path -> load_spec path
@@ -869,11 +950,13 @@ let campaign_run_cmd =
             | `None -> E.Spec.No_sweep
             | `Mtbf -> E.Spec.Mtbf_years values
             | `Bandwidth -> E.Spec.Bandwidth_gbs values
+            | `Flush -> E.Spec.Flush_gbs values
           in
           let strategies = Option.value strategies ~default:Strategy.paper_seven in
           try
             E.Spec.make ~name ~platform ~strategies ~axis ~reps ~seed ~days ?failure_dist
-              ?interference_alpha:alpha ?burst_buffer:(bb_spec_of bb) ?multilevel ()
+              ?interference_alpha:alpha ?burst_buffer:(bb_spec_of bb)
+              ?multilevel:(ml_of multilevel hierarchy) ()
           with Invalid_argument m ->
             Format.eprintf "error: invalid campaign: %s@." m;
             exit 1)
@@ -934,8 +1017,9 @@ let campaign_run_cmd =
              the results store when one is given.")
     Term.(const action $ spec_file_t $ name_t $ axis_t $ values_t $ bandwidth_t
           $ mtbf_years_t $ prospective_t $ strategies_t $ reps_t 100 $ seed_t $ days_t
-          $ failure_dist_opt_t $ alpha_opt_t $ bb_t $ multilevel_t $ store_t
-          $ save_spec_t $ out_t $ domains_t $ progress_out_t $ campaign_trace_out_t)
+          $ failure_dist_opt_t $ alpha_opt_t $ bb_t $ multilevel_t $ hierarchy_t
+          $ store_t $ save_spec_t $ out_t $ domains_t $ progress_out_t
+          $ campaign_trace_out_t)
 
 let campaign_status_cmd =
   let spec_opt_t =

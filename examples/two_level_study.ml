@@ -41,12 +41,7 @@ let () =
     }
   in
   let ml soft_fraction =
-    {
-      Config.local_period_s = 600.0;
-      local_cost_s = 10.0;
-      local_recovery_s = 30.0;
-      soft_fraction;
-    }
+    Config.local_level ~period_s:600.0 ~cost_s:10.0 ~recovery_s:30.0 ~soft_fraction
   in
   let run ?multilevel () =
     let cfg s =

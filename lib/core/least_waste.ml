@@ -181,10 +181,90 @@ module Aggregate = struct
   let total_term t ~now ~service_s =
     (((t.a +. t.ca) *. now) +. (t.b +. t.cb)) +. ((t.s1 +. t.cs1) *. service_s)
 
+  let find t ~key =
+    match Hashtbl.find_opt t.entries key with
+    | None -> None
+    | Some c -> Some c.entry
+
   let waste t ~now ~key =
     match Hashtbl.find_opt t.entries key with
     | None -> invalid_arg "Least_waste.Aggregate.waste: unknown key"
     | Some c ->
         let v = service_time c.entry in
         v *. (total_term t ~now ~service_s:v -. term t ~now ~service_s:v c.entry)
+end
+
+(* Level-aware pools: one {!Aggregate} (one affine A·now + B + S1·v triple)
+   per hierarchy level. The inflicted waste of a member is its service time
+   times the sum of every level's total term minus its own — at one level
+   this degenerates to {!Aggregate.waste} (same floats; the fold seeds with
+   0.0 and 0.0 +. x = x), which is what keeps the single-level golden
+   traces bit-identical.
+
+   A single-level pool delegates every operation straight to its one
+   {!Aggregate}: the grant scan calls [waste] once per pending request, and
+   the general path's level lookup, option-returning entry find and float
+   fold would put ~5 extra minor words per candidate on the simulator's hot
+   path (the bench [tracing] budget polices this). The [level_of] table is
+   only maintained — and only consulted — with two or more levels. *)
+module Levels = struct
+  type t = {
+    aggs : Aggregate.t array;
+    level_of : (int, int) Hashtbl.t;  (* key → owning level; unused at L = 1 *)
+  }
+
+  let create ~node_mtbf_s ~levels =
+    if levels <= 0 then
+      invalid_arg "Least_waste.Levels.create: levels must be positive";
+    {
+      aggs = Array.init levels (fun _ -> Aggregate.create ~node_mtbf_s);
+      level_of = Hashtbl.create 64;
+    }
+
+  let levels t = Array.length t.aggs
+
+  let size t =
+    if Array.length t.aggs = 1 then Aggregate.size t.aggs.(0)
+    else Hashtbl.length t.level_of
+
+  let mem t ~key =
+    if Array.length t.aggs = 1 then Aggregate.mem t.aggs.(0) ~key
+    else Hashtbl.mem t.level_of key
+
+  let add t ~key ~level entry =
+    if level < 0 || level >= Array.length t.aggs then
+      invalid_arg "Least_waste.Levels.add: level out of range";
+    if Array.length t.aggs = 1 then Aggregate.add t.aggs.(0) ~key entry
+    else begin
+      if Hashtbl.mem t.level_of key then
+        invalid_arg "Least_waste.Levels.add: duplicate key";
+      Aggregate.add t.aggs.(level) ~key entry;
+      Hashtbl.replace t.level_of key level
+    end
+
+  let remove t ~key =
+    if Array.length t.aggs = 1 then Aggregate.remove t.aggs.(0) ~key
+    else
+      match Hashtbl.find_opt t.level_of key with
+      | None -> ()
+      | Some l ->
+          Hashtbl.remove t.level_of key;
+          Aggregate.remove t.aggs.(l) ~key
+
+  let waste t ~now ~key =
+    if Array.length t.aggs = 1 then Aggregate.waste t.aggs.(0) ~now ~key
+    else
+      match Hashtbl.find_opt t.level_of key with
+      | None -> invalid_arg "Least_waste.Levels.waste: unknown key"
+      | Some l -> (
+          match Aggregate.find t.aggs.(l) ~key with
+          | None -> assert false
+          | Some entry ->
+              let v = Aggregate.service_time entry in
+              let total =
+                Array.fold_left
+                  (fun acc agg -> acc +. Aggregate.total_term agg ~now ~service_s:v)
+                  0.0 t.aggs
+              in
+              v *. (total -. Aggregate.term t.aggs.(l) ~now ~service_s:v entry))
 end

@@ -93,8 +93,43 @@ module Aggregate : sig
   val total_term : t -> now:float -> service_s:float -> float
   (** [A·now + B + S1·service_s]: Σ term over every current member. *)
 
+  val find : t -> key:int -> entry option
+  (** The entry recorded for [key], if any. *)
+
   val waste : t -> now:float -> key:int -> float
   (** The inflicted waste [W_i] of member [key] at [now]: its service time
       times ({!total_term} minus its own {!term}). Raises
       [Invalid_argument] on an unknown key. *)
+end
+
+(** Level-aware Least-Waste pools for checkpoint hierarchies: one
+    {!Aggregate} — one affine [A·now + B + S1·v] triple — per hierarchy
+    level, so requests targeting different storage levels carry their own
+    cost scales while a grant still weighs the waste inflicted on {e every}
+    pending request. [waste] with a single level is float-for-float
+    {!Aggregate.waste} (property-tested), which keeps single-level golden
+    traces bit-identical. *)
+module Levels : sig
+  type t
+
+  val create : node_mtbf_s:float -> levels:int -> t
+  (** [levels] empty per-level pools. Raises [Invalid_argument] unless
+      [levels > 0] and [node_mtbf_s > 0]. *)
+
+  val levels : t -> int
+  val size : t -> int
+  (** Total members across all levels. *)
+
+  val mem : t -> key:int -> bool
+
+  val add : t -> key:int -> level:int -> Aggregate.entry -> unit
+  (** O(1). Raises [Invalid_argument] on a duplicate key (across all
+      levels) or a level out of range. *)
+
+  val remove : t -> key:int -> unit
+  (** O(1); no-op on unknown keys. *)
+
+  val waste : t -> now:float -> key:int -> float
+  (** [v_i · (Σ_levels total_term − term_i)]. Raises [Invalid_argument] on
+      an unknown key. *)
 end

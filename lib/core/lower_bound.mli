@@ -43,6 +43,47 @@ val solve_model :
     steady-state regular-I/O demand [Σ n_i (input_i + output_i) / walltime_i]
     (the Section 4 assumption that initial/final I/O spans the execution). *)
 
+type hierarchical_input = {
+  h_blocking : Waste.class_load list;
+      (** per-class loads with C_i, R_i at the absorb (shallowest) level *)
+  h_edge_ckpt_s : float list;
+      (** E_i: service time of one flush through the narrowest hierarchy
+          edge, order-aligned with [h_blocking] *)
+  h_total_nodes : int;
+  h_node_mtbf_s : float;
+}
+
+val hierarchical_period_at :
+  lambda:float ->
+  total_nodes:int ->
+  node_mtbf_s:float ->
+  Waste.class_load ->
+  edge_ckpt_s:float ->
+  float
+(** [P_i(λ) = sqrt (2 µ N (B_i q_i/N + λ E_i) / q_i²)] — the hierarchical
+    generalization of Equation (8); equal to it (up to rounding) when the
+    blocking and edge service times coincide. *)
+
+val solve_hierarchical : hierarchical_input -> result
+(** The lower bound when jobs block only for the absorb write while the
+    aggregate-I/O constraint (Equation (6)) applies to the flush traffic
+    through the narrowest hierarchy edge. Reduces to {!solve} when
+    [h_edge_ckpt_s] equals the blocking costs; the bound decreases
+    monotonically as the edge widens. *)
+
+val solve_model_hierarchical :
+  classes:(float * Cocheck_model.App_class.t) list ->
+  platform:Cocheck_model.Platform.t ->
+  absorb_bandwidth_gbs:float ->
+  edge_bandwidths_gbs:float list ->
+  unit ->
+  result
+(** Model-level wrapper: blocking costs at [absorb_bandwidth_gbs] (the
+    shallowest store), constraint at the narrowest of
+    [edge_bandwidths_gbs] — the last edge drains into the PFS and has the
+    steady-state regular-I/O demand subtracted first, inner edges are
+    dedicated links. *)
+
 val steady_state_regular_io_gbs :
   classes:(float * Cocheck_model.App_class.t) list ->
   platform:Cocheck_model.Platform.t ->

@@ -8,13 +8,32 @@ type params = {
 }
 
 let validate p =
-  if p.local_cost_s < 0.0 || p.local_recovery_s < 0.0 then
-    invalid_arg "Two_level: negative local cost";
-  if p.global_cost_s <= 0.0 || p.global_recovery_s < 0.0 then
+  Multilevel.validate_level ~what:"Two_level" ~cost_s:p.local_cost_s
+    ~recovery_s:p.local_recovery_s ~fraction:p.soft_fraction;
+  if p.global_cost_s <= 0.0 then
     invalid_arg "Two_level: global cost must be positive";
-  if p.mtbf_s <= 0.0 then invalid_arg "Two_level: MTBF must be positive";
-  if p.soft_fraction < 0.0 || p.soft_fraction > 1.0 then
-    invalid_arg "Two_level: soft fraction outside [0, 1]"
+  Multilevel.validate_level ~what:"Two_level" ~cost_s:p.global_cost_s
+    ~recovery_s:p.global_recovery_s ~fraction:(1.0 -. p.soft_fraction);
+  if p.mtbf_s <= 0.0 then invalid_arg "Two_level: MTBF must be positive"
+
+let to_multilevel p =
+  validate p;
+  {
+    Multilevel.levels =
+      [
+        {
+          Multilevel.cost_s = p.local_cost_s;
+          recovery_s = p.local_recovery_s;
+          fraction = p.soft_fraction;
+        };
+        {
+          Multilevel.cost_s = p.global_cost_s;
+          recovery_s = p.global_recovery_s;
+          fraction = 1.0 -. p.soft_fraction;
+        };
+      ];
+    mtbf_s = p.mtbf_s;
+  }
 
 (* A term x/P vanishes (not NaNs) at P = infinity. *)
 let over x p = if Float.is_finite p then x /. p else 0.0

@@ -29,6 +29,12 @@ type params = {
 
 val validate : params -> unit
 
+val to_multilevel : params -> Multilevel.params
+(** Embed as the L = 2 instance of {!Multilevel}: levels
+    [[local; global]] with fractions [p] and [1 − p]. {!Multilevel.waste},
+    [optimal_periods], [optimal_waste] and [worthwhile] on the image are
+    bit-identical to the functions here (property-tested). *)
+
 val waste : params -> local_period_s:float -> global_period_s:float -> float
 (** The two-level waste expression above. Periods must be positive. *)
 

@@ -198,12 +198,8 @@ let two_level ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
   let strategy = Strategy.Least_waste in
   (* Local snapshots priced like an SCR XOR level: ~3% of a global commit. *)
   let ml soft_fraction =
-    {
-      Cocheck_sim.Config.local_period_s = 600.0;
-      local_cost_s = 10.0;
-      local_recovery_s = 30.0;
-      soft_fraction;
-    }
+    Cocheck_sim.Config.local_level ~period_s:600.0 ~cost_s:10.0 ~recovery_s:30.0
+      ~soft_fraction
   in
   let eap = List.hd Apex.lanl_workload in
   let analytic soft_fraction =
@@ -242,6 +238,62 @@ let two_level ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
     ~title:
       "Ablation: two-level checkpointing under Least-Waste (Cielo, 40 GB/s, 2y node MTBF)"
     ~columns:[ "single-level"; "two-level"; "analytic EAP two-level" ]
+    ~rows
+
+let flush_bandwidth ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)
+    ?(flush_gbs = [ 2.0; 5.0; 10.0; 20.0; 40.0 ]) ?(capacity_gb = 400_000.0)
+    ?(buffer_gbs = 1_000.0) () =
+  let platform = Platform.cielo ~bandwidth_gbs:40.0 ~node_mtbf_years:2.0 () in
+  let strategies =
+    [
+      Strategy.Oblivious Strategy.Daly;
+      Strategy.Ordered_nb Strategy.Daly;
+      Strategy.Least_waste;
+    ]
+  in
+  (* One buffer level in front of the PFS whose background flush edge is
+     the swept parameter; survival 1.0 keeps failures from erasing it so
+     the sweep isolates the drain-bandwidth effect. *)
+  let ml f =
+    {
+      Cocheck_sim.Config.levels =
+        [
+          Cocheck_sim.Config.Buffer
+            {
+              Cocheck_sim.Config.bl_capacity_gb = capacity_gb;
+              bl_bandwidth_gbs = buffer_gbs;
+              bl_flush_gbs = Some f;
+              bl_survival = 1.0;
+            };
+        ];
+    }
+  in
+  let counts =
+    Cocheck_core.Waste.steady_state_counts ~classes:Apex.lanl_workload ~platform
+  in
+  let rows =
+    List.map
+      (fun f ->
+        let bound =
+          (Cocheck_core.Lower_bound.solve_model_hierarchical ~classes:counts ~platform
+             ~absorb_bandwidth_gbs:buffer_gbs ~edge_bandwidths_gbs:[ f ] ())
+            .Cocheck_core.Lower_bound.waste
+        in
+        {
+          label = Printf.sprintf "%g GB/s" f;
+          values =
+            mc ~pool ~platform ~strategies ~reps ~seed ~days ~multilevel:(ml f) ()
+            @ [ ("Hierarchical Bound", bound) ];
+        })
+      flush_gbs
+  in
+  build_study
+    ~title:
+      (Printf.sprintf
+         "Ablation: background-flush bandwidth of a %.0f GB/s buffer tier (Cielo, 40 \
+          GB/s PFS, 2y node MTBF; hierarchical lower bound in the right column)"
+         buffer_gbs)
+    ~columns:(strategy_columns strategies @ [ "Hierarchical Bound" ])
     ~rows
 
 let fixed_period ~pool ?(reps = 8) ?(seed = 42) ?(days = 20.0)

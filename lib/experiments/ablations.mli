@@ -83,6 +83,23 @@ val two_level :
     under the cooperative scheduler, next to the {!Cocheck_core.Two_level}
     analytic prediction for the EAP class. *)
 
+val flush_bandwidth :
+  pool:Cocheck_parallel.Pool.t ->
+  ?reps:int ->
+  ?seed:int ->
+  ?days:float ->
+  ?flush_gbs:float list ->
+  ?capacity_gb:float ->
+  ?buffer_gbs:float ->
+  unit ->
+  study
+(** The hierarchy extension: a buffer tier absorbs checkpoints at
+    [buffer_gbs] and flushes to the PFS over a dedicated edge whose
+    bandwidth is swept. Mean waste per strategy per flush bandwidth, with
+    the {!Cocheck_core.Lower_bound.solve_model_hierarchical} bound in the
+    last column — waste should fall monotonically toward it as the edge
+    widens. *)
+
 val fixed_period :
   pool:Cocheck_parallel.Pool.t ->
   ?reps:int ->

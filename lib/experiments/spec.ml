@@ -8,7 +8,12 @@ module Failure_trace = Cocheck_sim.Failure_trace
 module Burst_buffer = Cocheck_sim.Burst_buffer
 module Units = Cocheck_util.Units
 
-type axis = No_sweep | Mtbf_years of float list | Bandwidth_gbs of float list
+type axis =
+  | No_sweep
+  | Mtbf_years of float list
+  | Bandwidth_gbs of float list
+  | Flush_gbs of float list
+      (* sweeps the dedicated flush bandwidth of every buffer level *)
 
 type t = {
   name : string;
@@ -39,6 +44,18 @@ let validate t =
   | No_sweep -> ()
   | Mtbf_years ys -> check_axis "MTBF" ys
   | Bandwidth_gbs bs -> check_axis "bandwidth" bs
+  | Flush_gbs fs ->
+      check_axis "flush bandwidth" fs;
+      let has_buffer =
+        match t.multilevel with
+        | Some m ->
+            List.exists
+              (function Config.Buffer _ -> true | Config.Snapshot _ -> false)
+              m.Config.levels
+        | None -> false
+      in
+      if not has_buffer then
+        invalid_arg "Spec: flush-bandwidth axis needs a multilevel buffer level"
 
 let make ?(name = "campaign") ~platform ?classes ~strategies ?(axis = No_sweep)
     ?(reps = 100) ?(seed = 42) ?(days = 60.0) ?failure_dist ?interference_alpha
@@ -77,22 +94,40 @@ let cells t =
         ys
   | Bandwidth_gbs bs ->
       List.map (fun b -> { x = Some b; platform = Platform.with_bandwidth t.platform b }) bs
+  | Flush_gbs fs -> List.map (fun f -> { x = Some f; platform = t.platform }) fs
 
 let axis_label t =
   match t.axis with
   | No_sweep -> ""
   | Mtbf_years _ -> "Node MTBF (years)"
   | Bandwidth_gbs _ -> "System Aggregated Bandwidth (GB/s)"
+  | Flush_gbs _ -> "Flush Bandwidth (GB/s)"
 
 let log_x t = match t.axis with Mtbf_years _ -> true | _ -> false
 
 let rep_seed ~seed ~rep = seed + (1_000_003 * rep)
 
+(* Give every buffer level of [m] a dedicated flush edge of [f] GB/s. *)
+let with_flush_gbs m f =
+  {
+    Config.levels =
+      List.map
+        (function
+          | Config.Buffer b -> Config.Buffer { b with Config.bl_flush_gbs = Some f }
+          | l -> l)
+        m.Config.levels;
+  }
+
 let config t ~cell ~strategy ~rep =
+  let multilevel =
+    match (t.axis, cell.x) with
+    | Flush_gbs _, Some f -> Option.map (fun m -> with_flush_gbs m f) t.multilevel
+    | _ -> t.multilevel
+  in
   Config.make ~platform:cell.platform ?classes:t.classes ~strategy
     ~seed:(rep_seed ~seed:t.seed ~rep) ~days:t.days ?failure_dist:t.failure_dist
     ?interference_alpha:t.interference_alpha ?burst_buffer:t.burst_buffer
-    ?multilevel:t.multilevel ()
+    ?multilevel ()
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                        *)
@@ -153,6 +188,12 @@ let axis_to_json = function
           ("sweep", Json.String "bandwidth_gbs");
           ("values", Json.List (List.map (fun v -> Json.Float v) bs));
         ]
+  | Flush_gbs fs ->
+      Json.Obj
+        [
+          ("sweep", Json.String "flush_gbs");
+          ("values", Json.List (List.map (fun v -> Json.Float v) fs));
+        ]
 
 let axis_of_json j =
   let values () =
@@ -176,6 +217,9 @@ let axis_of_json j =
   | Some "bandwidth_gbs" ->
       let* vs = values () in
       Ok (Bandwidth_gbs vs)
+  | Some "flush_gbs" ->
+      let* vs = values () in
+      Ok (Flush_gbs vs)
   | Some other -> Error (Printf.sprintf "spec: unknown sweep kind %S" other)
   | None -> Error "spec: axis has no sweep kind"
 

@@ -10,11 +10,16 @@
     that keys it in the {!Runner} results store. *)
 
 (** The swept parameter: each value produces one campaign cell by
-    overriding the corresponding field of the base {!field:platform}. *)
+    overriding the corresponding field of the base {!field:platform} (or,
+    for [Flush_gbs], of the multilevel buffer levels). *)
 type axis =
   | No_sweep  (** a single cell at the base platform *)
   | Mtbf_years of float list  (** sweep individual node MTBF (years) *)
   | Bandwidth_gbs of float list  (** sweep aggregate PFS bandwidth (GB/s) *)
+  | Flush_gbs of float list
+      (** sweep the dedicated background-flush bandwidth given to every
+          {!Cocheck_sim.Config.Buffer} level of the multilevel hierarchy;
+          requires such a level *)
 
 type t = {
   name : string;  (** human label ("fig2", "ablation-bb", ...) *)
@@ -53,7 +58,8 @@ val make :
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on an empty strategy set, non-positive reps
-    or days, or an empty/non-positive axis. *)
+    or days, an empty/non-positive axis, or a [Flush_gbs] axis without a
+    multilevel buffer level to apply it to. *)
 
 (** {2 Cell expansion} *)
 

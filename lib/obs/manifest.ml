@@ -54,14 +54,42 @@ let burst_buffer_to_json (bb : Burst_buffer.spec) =
       ("bandwidth_gbs", Json.Float bb.bandwidth_gbs);
     ]
 
+let level_to_json (l : Config.level) =
+  match l with
+  | Config.Snapshot s ->
+      Json.Obj
+        [
+          ("kind", Json.String "snapshot");
+          ("period_s", Json.Float s.Config.sl_period_s);
+          ("cost_s", Json.Float s.sl_cost_s);
+          ("recovery_s", Json.Float s.sl_recovery_s);
+          ("survival", Json.Float s.sl_survival);
+        ]
+  | Config.Buffer b ->
+      Json.Obj
+        ([
+           ("kind", Json.String "buffer");
+           ("capacity_gb", Json.Float b.Config.bl_capacity_gb);
+           ("bandwidth_gbs", Json.Float b.bl_bandwidth_gbs);
+         ]
+        @ (match b.bl_flush_gbs with
+          | Some f -> [ ("flush_gbs", Json.Float f) ]
+          | None -> [])
+        @ [ ("survival", Json.Float b.bl_survival) ])
+
 let multilevel_to_json (m : Config.multilevel) =
-  Json.Obj
-    [
-      ("local_period_s", Json.Float m.Config.local_period_s);
-      ("local_cost_s", Json.Float m.local_cost_s);
-      ("local_recovery_s", Json.Float m.local_recovery_s);
-      ("soft_fraction", Json.Float m.soft_fraction);
-    ]
+  match m.Config.levels with
+  | [ Config.Snapshot s ] ->
+      (* The legacy two-level shape, byte-identical so pre-hierarchy
+         manifests and campaign digests are stable. *)
+      Json.Obj
+        [
+          ("local_period_s", Json.Float s.Config.sl_period_s);
+          ("local_cost_s", Json.Float s.sl_cost_s);
+          ("local_recovery_s", Json.Float s.sl_recovery_s);
+          ("soft_fraction", Json.Float s.sl_survival);
+        ]
+  | levels -> Json.Obj [ ("levels", Json.List (List.map level_to_json levels)) ]
 
 let config_to_json (cfg : Config.t) =
   let optional name = function None -> [] | Some j -> [ (name, j) ] in
@@ -160,12 +188,38 @@ let burst_buffer_of_json bb =
   let* bandwidth_gbs = f_float "bandwidth_gbs" bb in
   Ok { Burst_buffer.capacity_gb; bandwidth_gbs }
 
+let level_of_json l =
+  let* kind = f_string "kind" l in
+  match kind with
+  | "snapshot" ->
+      let* sl_period_s = f_float "period_s" l in
+      let* sl_cost_s = f_float "cost_s" l in
+      let* sl_recovery_s = f_float "recovery_s" l in
+      let* sl_survival = f_float "survival" l in
+      Ok (Config.Snapshot { Config.sl_period_s; sl_cost_s; sl_recovery_s; sl_survival })
+  | "buffer" ->
+      let* bl_capacity_gb = f_float "capacity_gb" l in
+      let* bl_bandwidth_gbs = f_float "bandwidth_gbs" l in
+      let bl_flush_gbs = Option.bind (Json.member "flush_gbs" l) Json.to_float_opt in
+      let* bl_survival = f_float "survival" l in
+      Ok (Config.Buffer { Config.bl_capacity_gb; bl_bandwidth_gbs; bl_flush_gbs; bl_survival })
+  | other -> Error (Printf.sprintf "manifest: unknown level kind %S" other)
+
 let multilevel_of_json m =
-  let* local_period_s = f_float "local_period_s" m in
-  let* local_cost_s = f_float "local_cost_s" m in
-  let* local_recovery_s = f_float "local_recovery_s" m in
-  let* soft_fraction = f_float "soft_fraction" m in
-  Ok { Config.local_period_s; local_cost_s; local_recovery_s; soft_fraction }
+  match Json.member "levels" m with
+  | Some _ ->
+      let* level_list = field "levels" Json.to_list_opt m in
+      let* levels = collect level_of_json level_list in
+      Ok { Config.levels }
+  | None ->
+      (* Legacy two-level shape: a single node-local snapshot level. *)
+      let* local_period_s = f_float "local_period_s" m in
+      let* local_cost_s = f_float "local_cost_s" m in
+      let* local_recovery_s = f_float "local_recovery_s" m in
+      let* soft_fraction = f_float "soft_fraction" m in
+      Ok
+        (Config.local_level ~period_s:local_period_s ~cost_s:local_cost_s
+           ~recovery_s:local_recovery_s ~soft_fraction)
 
 let config_of_json j =
   let* platform = field "platform" (fun p -> Some p) j in

@@ -200,10 +200,18 @@ let pool_policy ~policy ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ()) ~choo
    allocation beyond the two accumulator refs. Ties break towards arrival
    order exactly as {!Least_waste.select} breaks them. The retired
    list-based formulation survives as the differential-testing oracle in
-   {!Lw_reference}. *)
-let least_waste ~node_mtbf_s ~bandwidth_gbs () : arbiter =
+   {!Lw_reference}.
+
+   With a checkpoint storage hierarchy the policy keeps one affine
+   aggregate per storage level ({!Least_waste.Levels}); token-arbitrated
+   requests all target the deepest level (the PFS — shallower tiers absorb
+   without the token), so today only that term is populated, and with
+   [levels = 1] the arithmetic is bit-identical to the single {!Aggregate}
+   it generalizes. *)
+let least_waste ~node_mtbf_s ~bandwidth_gbs ?(levels = 1) () : arbiter =
   let module Agg = Least_waste.Aggregate in
-  let agg = Agg.create ~node_mtbf_s in
+  let lv = Least_waste.Levels.create ~node_mtbf_s ~levels in
+  let pfs_level = levels - 1 in
   let entry_of r =
     match r.r_kind with
     | Req_io _ ->
@@ -226,7 +234,7 @@ let least_waste ~node_mtbf_s ~bandwidth_gbs () : arbiter =
     let best = ref None in
     let best_w = ref infinity in
     Ipool.iter pool (fun r ->
-        let w = Agg.waste agg ~now ~key:r.r_id in
+        let w = Least_waste.Levels.waste lv ~now ~key:r.r_id in
         match !best with
         | Some _ when w >= !best_w -> ()
         | _ ->
@@ -235,8 +243,8 @@ let least_waste ~node_mtbf_s ~bandwidth_gbs () : arbiter =
     !best
   in
   pool_policy ~policy:"least-waste"
-    ~on_add:(fun r -> Agg.add agg ~key:r.r_id (entry_of r))
-    ~on_remove:(fun r -> Agg.remove agg ~key:r.r_id)
+    ~on_add:(fun r -> Least_waste.Levels.add lv ~key:r.r_id ~level:pfs_level (entry_of r))
+    ~on_remove:(fun r -> Least_waste.Levels.remove lv ~key:r.r_id)
     ~choose ()
 
 (* Grant to the request with the most node-seconds currently at risk:
@@ -266,9 +274,9 @@ let greedy_exposure () : arbiter =
   in
   pool_policy ~policy:"greedy-exposure" ~choose ()
 
-let of_strategy strategy ~node_mtbf_s ~bandwidth_gbs =
+let of_strategy strategy ~node_mtbf_s ~bandwidth_gbs ?(levels = 1) () =
   match (strategy : Strategy.t) with
-  | Least_waste -> least_waste ~node_mtbf_s ~bandwidth_gbs ()
+  | Least_waste -> least_waste ~node_mtbf_s ~bandwidth_gbs ~levels ()
   | Greedy_exposure -> greedy_exposure ()
   | Oblivious _ | Ordered _ | Ordered_nb _ | Baseline -> fifo ()
 

@@ -17,13 +17,16 @@ val fifo : unit -> Sim_types.arbiter
     strategies of Section 3.2–3.3). *)
 
 val least_waste :
-  node_mtbf_s:float -> bandwidth_gbs:float -> unit -> Sim_types.arbiter
+  node_mtbf_s:float -> bandwidth_gbs:float -> ?levels:int -> unit -> Sim_types.arbiter
 (** The Section 3.4 heuristic: grant to the candidate minimising the
     expected waste inflicted on all other pending candidates. Backed by an
     id-indexed arrival-ordered pool — O(1) enqueue and removal — plus the
-    {!Cocheck_core.Least_waste.Aggregate} time-linear sums, making each
-    grant a single allocation-free O(pending) scan (the pairwise Eq.
-    (1)/(2) sum collapses to three incrementally-maintained scalars).
+    {!Cocheck_core.Least_waste.Levels} per-storage-level time-linear sums,
+    making each grant a single allocation-free O(pending) scan (the
+    pairwise Eq. (1)/(2) sum collapses to three incrementally-maintained
+    scalars per level). [levels] (default 1) is the storage-hierarchy
+    depth, PFS included; token requests all live at the deepest level, and
+    [levels = 1] is bit-identical to the single-aggregate formulation.
     Differentially tested against the list-based oracle {!Lw_reference}. *)
 
 val greedy_exposure : unit -> Sim_types.arbiter
@@ -35,9 +38,12 @@ val of_strategy :
   Cocheck_core.Strategy.t ->
   node_mtbf_s:float ->
   bandwidth_gbs:float ->
+  ?levels:int ->
+  unit ->
   Sim_types.arbiter
 (** The policy a strategy mandates (token-less strategies get an inert
-    {!fifo} they never enqueue into). *)
+    {!fifo} they never enqueue into). [levels] is the storage-hierarchy
+    depth for {!least_waste}, PFS included (default 1 = PFS only). *)
 
 val submit : Sim_types.w -> Sim_types.inst -> Sim_types.rkind -> float -> unit
 (** Create a request (fresh id, stamped with the current time) for

@@ -66,27 +66,31 @@ let rec maybe_start_drain t =
                maybe_start_drain t))
 
 let write t ~owner ~job ~nodes ~volume_gb ~on_complete =
-  if not (fits t ~volume_gb) then
-    invalid_arg "Burst_buffer.write: does not fit (check Burst_buffer.fits first)";
-  t.used <- t.used +. volume_gb;
-  t.absorbed <- t.absorbed + 1;
-  let record = ref None in
-  let flow =
-    Io.start_flow t.bb_io ~job ~nodes ~kind:Io.Ckpt ~volume_gb ~on_complete:(fun () ->
-        (match !record with
-        | Some r ->
-            r.state <- Resident;
-            Hashtbl.remove t.in_flight (Io.flow_id r.flow);
-            Hashtbl.replace t.newest r.owner r;
-            Queue.add r t.drain_queue;
-            maybe_start_drain t
-        | None -> assert false);
-        on_complete ())
-  in
-  let r = { owner; nodes; volume = volume_gb; flow; state = Writing } in
-  record := Some r;
-  Hashtbl.replace t.in_flight (Io.flow_id flow) r;
-  flow
+  if not (fits t ~volume_gb) then begin
+    t.spilled <- t.spilled + 1;
+    None
+  end
+  else begin
+    t.used <- t.used +. volume_gb;
+    t.absorbed <- t.absorbed + 1;
+    let record = ref None in
+    let flow =
+      Io.start_flow t.bb_io ~job ~nodes ~kind:Io.Ckpt ~volume_gb ~on_complete:(fun () ->
+          (match !record with
+          | Some r ->
+              r.state <- Resident;
+              Hashtbl.remove t.in_flight (Io.flow_id r.flow);
+              Hashtbl.replace t.newest r.owner r;
+              Queue.add r t.drain_queue;
+              maybe_start_drain t
+          | None -> assert false);
+          on_complete ())
+    in
+    let r = { owner; nodes; volume = volume_gb; flow; state = Writing } in
+    record := Some r;
+    Hashtbl.replace t.in_flight (Io.flow_id flow) r;
+    Some flow
+  end
 
 let abort_write t flow =
   match Hashtbl.find_opt t.in_flight (Io.flow_id flow) with
@@ -113,4 +117,3 @@ let free_gb t = t.spec.capacity_gb -. t.used
 let drains_pending t = Queue.length t.drain_queue + if t.draining then 1 else 0
 let writes_absorbed t = t.absorbed
 let writes_spilled t = t.spilled
-let note_spill t = t.spilled <- t.spilled + 1

@@ -39,13 +39,13 @@ val write :
   nodes:int ->
   volume_gb:float ->
   on_complete:(unit -> unit) ->
-  Io_subsystem.flow
+  Io_subsystem.flow option
 (** Start a checkpoint write into the buffer. [owner] is the stable job
     identity (survives restarts — the spec id), [job] the running instance.
-    Reserves capacity immediately; raises [Invalid_argument] if it does not
-    fit ({!fits} must be checked first). On completion the checkpoint
-    becomes the owner's newest resident copy and a background drain is
-    queued. *)
+    Reserves capacity immediately. [None] when the volume does not fit
+    ({!fits}): the spill is counted here ({!writes_spilled}) and the caller
+    falls back to its PFS path. On completion the checkpoint becomes the
+    owner's newest resident copy and a background drain is queued. *)
 
 val abort_write : t -> Io_subsystem.flow -> unit
 (** Cancel an in-flight write (job killed): the transfer stops, the
@@ -73,8 +73,7 @@ val used_gb : t -> float
 val free_gb : t -> float
 val drains_pending : t -> int
 val writes_absorbed : t -> int
-val writes_spilled : t -> int
 
-val note_spill : t -> unit
-(** Called by the simulator when a checkpoint had to bypass the buffer, so
-    {!writes_spilled} reflects the spill rate. *)
+val writes_spilled : t -> int
+(** Writes that bypassed the buffer because they did not fit (counted by
+    {!write} returning [None]). *)

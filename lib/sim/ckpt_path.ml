@@ -8,6 +8,15 @@ module Io = Io_subsystem
    (token? blocking?) plus the arbiter's selection policy: adding a policy
    touches neither this module nor the lifecycle. *)
 
+(* The work the checkpoint would capture if taken now — [work_done] plus
+   the open compute interval, evaluated before pausing so storage tiers
+   can decide on the capture before the pause mutates the instance. Equals
+   [work_done] after {!pause_compute} bit-for-bit. *)
+let capture_content w inst =
+  let t = now w in
+  if t > inst.compute_start then inst.work_done +. (t -. inst.compute_start)
+  else inst.work_done
+
 let rec schedule_ckpt_request w inst =
   if w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work then begin
     let delay = Float.max 0.0 (inst.period -. inst.ckpt_nominal) in
@@ -23,39 +32,43 @@ and on_ckpt_request w inst =
       if left <= eps_work then ()
         (* the work-completion event fires at this same instant; skip *)
       else begin
-        match w.bb with
-        | Some bb when Burst_buffer.fits bb ~volume_gb:inst.spec.Jobgen.ckpt_gb ->
-            (* The buffer absorbs the commit at its own speed, bypassing
-               the strategy's PFS arbitration entirely. *)
+        (* A storage tier in front of the PFS absorbs the commit at its own
+           speed, bypassing the strategy's PFS arbitration entirely; a full
+           tier counts the spill itself and the commit falls back to the
+           strategy's PFS path below. *)
+        let absorbed =
+          match (w.bb, w.hier) with
+          | Some bb, _ -> try_bb_ckpt w bb inst
+          | None, Some h -> try_hier_ckpt w h inst
+          | None, None -> false
+        in
+        if not absorbed then begin
+          if not w.uses_token then begin
+            (* Oblivious: the transfer starts at once, wait is zero. *)
+            Stats.running_add w.ckpt_wait_stats.(inst.spec.Jobgen.class_index) 0.0;
             pause_compute w inst;
-            start_bb_ckpt_flow w bb inst
-        | bb_opt ->
-            Option.iter (fun bb -> Burst_buffer.note_spill bb) bb_opt;
-            if not w.uses_token then begin
-              (* Oblivious: the transfer starts at once, wait is zero. *)
-              Stats.running_add w.ckpt_wait_stats.(inst.spec.Jobgen.class_index) 0.0;
-              pause_compute w inst;
-              start_ckpt_flow w inst
-            end
-            else if Strategy.is_blocking w.cfg.Config.strategy then begin
-              pause_compute w inst;
-              inst.activity <- Waiting_ckpt;
-              inst.wait_start <- now w;
-              Arbiter.submit w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
-              Arbiter.try_grant w
-            end
-            else begin
-              inst.activity <- Computing_pending;
-              Arbiter.submit w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
-              Arbiter.try_grant w
-            end
+            start_ckpt_flow w inst
+          end
+          else if Strategy.is_blocking w.cfg.Config.strategy then begin
+            pause_compute w inst;
+            inst.activity <- Waiting_ckpt;
+            inst.wait_start <- now w;
+            Arbiter.submit w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
+            Arbiter.try_grant w
+          end
+          else begin
+            inst.activity <- Computing_pending;
+            Arbiter.submit w inst Req_ckpt inst.spec.Jobgen.ckpt_gb;
+            Arbiter.try_grant w
+          end
+        end
       end
   | Local_ckpt ->
       (* A local snapshot is in flight: retry just after it finishes. *)
       let retry =
-        match w.cfg.Config.multilevel with
-        | Some m -> Float.max m.Config.local_cost_s 1.0
-        | None -> 1.0
+        if Array.length w.snap > 0 then
+          Float.max w.snap.(inst.local_level).Config.sl_cost_s 1.0
+        else 1.0
       in
       inst.ckpt_request_ev <-
         Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:retry inst.cb_ckpt_request
@@ -83,22 +96,57 @@ and start_ckpt_flow w inst =
   in
   inst.activity <- Doing_io (w.io, flow, Io.Ckpt)
 
-and start_bb_ckpt_flow w bb inst =
-  emit_inst w inst Trace.Ckpt_started;
-  inst.ckpt_content <- inst.work_done;
-  let flow =
+and try_bb_ckpt w bb inst =
+  match
     Burst_buffer.write bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
       ~nodes:inst.spec.Jobgen.nodes ~volume_gb:inst.spec.Jobgen.ckpt_gb
       ~on_complete:(ckpt_complete w inst)
-  in
-  inst.activity <- Doing_io (Burst_buffer.io bb, flow, Io.Ckpt)
+  with
+  | None -> false
+  | Some flow ->
+      pause_compute w inst;
+      emit_inst w inst Trace.Ckpt_started;
+      inst.ckpt_content <- inst.work_done;
+      inst.activity <- Doing_io (Burst_buffer.io bb, flow, Io.Ckpt);
+      true
+
+and try_hier_ckpt w h inst =
+  let content = capture_content w inst in
+  match
+    Ckpt_hierarchy.write h ~owner:inst.spec.Jobgen.id ~job:inst.idx
+      ~nodes:inst.spec.Jobgen.nodes ~volume_gb:inst.spec.Jobgen.ckpt_gb
+      ~content ~at:(now w) ~on_complete:(ckpt_complete w inst)
+  with
+  | None -> false
+  | Some (pool, flow) ->
+      pause_compute w inst;
+      emit_inst w inst Trace.Ckpt_started;
+      inst.ckpt_content <- inst.work_done;
+      inst.activity <- Doing_io (pool, flow, Io.Ckpt);
+      true
 
 and on_ckpt_done w inst =
   release_token w inst;
   inst.committed <- inst.ckpt_content;
   emit_inst w inst (Trace.Ckpt_committed { work = inst.ckpt_content });
-  if inst.ckpt_content > inst.committed_local then inst.committed_local <- inst.ckpt_content;
-  inst.local_safe_time <- now w;
+  (* A global commit also refreshes every snapshot level's capture point:
+     anything a snapshot would roll back to is at least this safe. *)
+  for k = 0 to Array.length w.snap - 1 do
+    if inst.ckpt_content > inst.committed_local.(k) then
+      inst.committed_local.(k) <- inst.ckpt_content;
+    inst.local_safe_time.(k) <- now w
+  done;
+  (* Commits through the strategy's PFS path are durable below the
+     hierarchy; record them so recovery weighs the PFS copy against
+     shallower (possibly older) hierarchy copies. *)
+  (match w.hier with
+  | Some h -> (
+      match inst.activity with
+      | Doing_io (sub, _, _) when sub == w.io ->
+          Ckpt_hierarchy.note_pfs_commit h ~owner:inst.spec.Jobgen.id ~inst:inst.idx
+            ~content:inst.ckpt_content ~at:(now w)
+      | _ -> ())
+  | None -> ());
   flush_uncommitted w inst Metrics.Work;
   if inst.has_ckpt then
     Stats.running_add
@@ -123,18 +171,21 @@ let grant_ckpt w (req : request) =
   start_ckpt_flow w inst
 
 (* ------------------------------------------------------------------ *)
-(* Two-level (node-local) checkpointing.                                *)
+(* Multilevel (snapshot-level) checkpointing.                          *)
 (* ------------------------------------------------------------------ *)
 
-let rec schedule_local_tick w inst =
-  match w.cfg.Config.multilevel with
-  | Some m when w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work ->
-      inst.local_tick_ev <-
-        Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_period_s
-          inst.cb_local_tick
-  | _ -> ()
+let rec schedule_local_tick_at w inst k =
+  if w.ckpt_enabled && inst.total_work -. inst.work_done > eps_work then
+    inst.local_tick_ev.(k) <-
+      Engine.schedule_after w.engine ~kind:Ev_kind.ckpt
+        ~delay:w.snap.(k).Config.sl_period_s inst.cb_local_tick.(k)
 
-and on_local_tick w m inst =
+and schedule_local_tick w inst =
+  for k = 0 to Array.length w.snap - 1 do
+    schedule_local_tick_at w inst k
+  done
+
+and on_local_tick w k inst =
   match inst.activity with
   | Computing ->
       let left = inst.total_work -. inst.work_done -. (now w -. inst.compute_start) in
@@ -142,27 +193,30 @@ and on_local_tick w m inst =
       else begin
         pause_compute w inst;
         inst.activity <- Local_ckpt;
+        inst.local_level <- k;
         inst.local_pause_start <- now w;
         inst.local_done_ev <-
-          Engine.schedule_after w.engine ~kind:Ev_kind.ckpt ~delay:m.Config.local_cost_s
-            inst.cb_local_done
+          Engine.schedule_after w.engine ~kind:Ev_kind.ckpt
+            ~delay:w.snap.(k).Config.sl_cost_s inst.cb_local_done
       end
-  | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt ->
-      (* Busy with I/O-level activity: try again one local period later. *)
-      schedule_local_tick w inst
-  | Local_ckpt | Local_recovery -> assert false
+  | Doing_io _ | Computing_pending | Waiting_io _ | Waiting_ckpt | Local_ckpt ->
+      (* Busy with I/O-level activity (or another level's snapshot): try
+         again one of this level's periods later. *)
+      schedule_local_tick_at w inst k
+  | Local_recovery -> assert false
 
 and on_local_done w inst =
+  let k = inst.local_level in
   Metrics.record w.metrics ~t0:inst.local_pause_start ~t1:(now w)
     ~nodes:inst.spec.Jobgen.nodes Metrics.Local_ckpt;
   (* The snapshot captures the state at the pause. Work banked before this
-     point survives soft failures; it is counted as progress at the next
-     soft rollback, an optimistic first-order treatment (a later hard
-     failure hitting the successor before its first global commit would in
-     reality re-lose it). *)
-  inst.committed_local <- inst.work_done;
-  inst.local_safe_time <- inst.local_pause_start;
-  schedule_local_tick w inst;
+     point survives failures this level rides out; it is counted as
+     progress at the next soft rollback, an optimistic first-order
+     treatment (a later hard failure hitting the successor before its
+     first global commit would in reality re-lose it). *)
+  inst.committed_local.(k) <- inst.work_done;
+  inst.local_safe_time.(k) <- inst.local_pause_start;
+  schedule_local_tick_at w inst k;
   w.h_start_compute inst
 
 (* ------------------------------------------------------------------ *)
@@ -174,14 +228,16 @@ let install_callbacks w inst =
     (fun _ ->
       inst.ckpt_request_ev <- Engine.none;
       on_ckpt_request w inst);
-  match w.cfg.Config.multilevel with
-  | None -> ()
-  | Some m ->
-      inst.cb_local_tick <-
+  let nsnap = Array.length w.snap in
+  if nsnap > 0 then begin
+    for k = 0 to nsnap - 1 do
+      inst.cb_local_tick.(k) <-
         (fun _ ->
-          inst.local_tick_ev <- Engine.none;
-          on_local_tick w m inst);
-      inst.cb_local_done <-
-        (fun _ ->
-          inst.local_done_ev <- Engine.none;
-          on_local_done w inst)
+          inst.local_tick_ev.(k) <- Engine.none;
+          on_local_tick w k inst)
+    done;
+    inst.cb_local_done <-
+      (fun _ ->
+        inst.local_done_ev <- Engine.none;
+        on_local_done w inst)
+  end

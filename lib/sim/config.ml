@@ -17,12 +17,65 @@ type t = {
   multilevel : multilevel option;
 }
 
-and multilevel = {
-  local_period_s : float;
-  local_cost_s : float;
-  local_recovery_s : float;
-  soft_fraction : float;
+and multilevel = { levels : level list }
+
+and level = Snapshot of snapshot_level | Buffer of buffer_level
+
+and snapshot_level = {
+  sl_period_s : float;
+  sl_cost_s : float;
+  sl_recovery_s : float;
+  sl_survival : float;
 }
+
+and buffer_level = {
+  bl_capacity_gb : float;
+  bl_bandwidth_gbs : float;
+  bl_flush_gbs : float option;
+  bl_survival : float;
+}
+
+let local_level ~period_s ~cost_s ~recovery_s ~soft_fraction =
+  {
+    levels =
+      [
+        Snapshot
+          {
+            sl_period_s = period_s;
+            sl_cost_s = cost_s;
+            sl_recovery_s = recovery_s;
+            sl_survival = soft_fraction;
+          };
+      ];
+  }
+
+let validate_multilevel ~has_burst_buffer m =
+  if m.levels = [] then invalid_arg "Config: multilevel with no levels";
+  let seen_buffer = ref false in
+  List.iter
+    (function
+      | Snapshot s ->
+          if !seen_buffer then
+            invalid_arg "Config: snapshot levels must precede buffer levels";
+          if s.sl_period_s <= 0.0 then
+            invalid_arg "Config: local period must be positive";
+          Cocheck_core.Multilevel.validate_level ~what:"Config" ~cost_s:s.sl_cost_s
+            ~recovery_s:s.sl_recovery_s ~fraction:s.sl_survival
+      | Buffer b ->
+          seen_buffer := true;
+          if has_burst_buffer then
+            invalid_arg "Config: burst_buffer and buffer levels are exclusive";
+          if b.bl_capacity_gb <= 0.0 then
+            invalid_arg "Config: buffer level capacity must be positive";
+          if b.bl_bandwidth_gbs <= 0.0 then
+            invalid_arg "Config: buffer level bandwidth must be positive";
+          (match b.bl_flush_gbs with
+          | Some f when f <= 0.0 ->
+              invalid_arg "Config: flush bandwidth must be positive"
+          | _ -> ());
+          if b.bl_survival < 0.0 || b.bl_survival > 1.0 then
+            invalid_arg "Config: buffer survival outside [0, 1]")
+    m.levels
 
 let validate t =
   if t.classes = [] then invalid_arg "Config: no application classes";
@@ -33,12 +86,7 @@ let validate t =
   if t.interference_alpha < 0.0 then invalid_arg "Config: negative interference alpha";
   Option.iter Burst_buffer.spec_validate t.burst_buffer;
   Option.iter
-    (fun m ->
-      if m.local_period_s <= 0.0 then invalid_arg "Config: local period must be positive";
-      if m.local_cost_s < 0.0 || m.local_recovery_s < 0.0 then
-        invalid_arg "Config: negative local checkpoint cost";
-      if m.soft_fraction < 0.0 || m.soft_fraction > 1.0 then
-        invalid_arg "Config: soft fraction outside [0, 1]")
+    (validate_multilevel ~has_burst_buffer:(Option.is_some t.burst_buffer))
     t.multilevel
 
 let make ~platform ?classes ~strategy ?(seed = 42) ?(days = 60.0) ?(fill_factor = 1.15)

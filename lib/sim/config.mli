@@ -21,19 +21,41 @@ type t = {
       (** when set, checkpoints that fit commit to a burst buffer and drain
           to the PFS in the background (the Section 8 extension) *)
   multilevel : multilevel option;
-      (** when set, jobs additionally take cheap node-local checkpoints
-          that survive {e soft} failures (SCR/FTI-style two-level
-          checkpointing, references [9][15]; see
-          {!Cocheck_core.Two_level} for the analytic model) *)
+      (** when set, jobs checkpoint through an L-level hierarchy
+          ({!Ckpt_hierarchy}): cheap node-local snapshot levels that
+          survive only {e soft} failures (SCR/FTI-style, references
+          [9][15]) and/or buffer levels whose copies flush toward the PFS
+          in the background (VELOC-style); see {!Cocheck_core.Multilevel}
+          for the analytic model *)
 }
 
-and multilevel = {
-  local_period_s : float;  (** time between local snapshots *)
-  local_cost_s : float;  (** compute pause per snapshot, no PFS traffic *)
-  local_recovery_s : float;  (** restart delay after a soft failure *)
-  soft_fraction : float;
-      (** probability a failure is soft (recoverable from node-local
-          state); the remainder are node losses recovering from the PFS *)
+and multilevel = { levels : level list }
+(** Levels shallow → deep; the PFS is the implicit deepest level and is
+    not listed. {!Snapshot} levels must precede {!Buffer} levels, and
+    [buffer_level]s are exclusive with the legacy [burst_buffer] field
+    (which they generalize). *)
+
+and level = Snapshot of snapshot_level | Buffer of buffer_level
+
+and snapshot_level = {
+  sl_period_s : float;  (** time between snapshots at this level *)
+  sl_cost_s : float;  (** compute pause per snapshot, no PFS traffic *)
+  sl_recovery_s : float;  (** restart delay when recovering from this level *)
+  sl_survival : float;
+      (** probability a failure leaves this level's data intact (the
+          legacy [soft_fraction]); the remainder must recover deeper *)
+}
+
+and buffer_level = {
+  bl_capacity_gb : float;  (** shared capacity of this storage tier *)
+  bl_bandwidth_gbs : float;  (** absorb bandwidth jobs write at *)
+  bl_flush_gbs : float option;
+      (** background flush edge toward the next tier: [None] serializes
+          drains one at a time through the next tier's I/O subsystem (the
+          legacy burst-buffer behavior, kept as the differential oracle);
+          [Some b] gives the edge its own [b] GB/s virtual-time scheduler
+          where concurrent flushes contend as ordinary weighted flows *)
+  bl_survival : float;  (** probability a failure leaves this tier intact *)
 }
 
 val make :
@@ -56,6 +78,15 @@ val make :
     [seg_end = days + 1] days, [horizon = days + 2] days. [classes]
     defaults to the APEX LANL workload scaled to the platform.
     The Baseline strategy forces [with_failures = false]. *)
+
+val local_level :
+  period_s:float ->
+  cost_s:float ->
+  recovery_s:float ->
+  soft_fraction:float ->
+  multilevel
+(** The legacy two-level configuration: one node-local {!Snapshot} level
+    above the PFS ([sl_survival = soft_fraction]). *)
 
 val baseline_of : t -> t
 (** The same scenario under the Baseline strategy (no failures, no

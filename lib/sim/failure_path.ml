@@ -26,15 +26,37 @@ let kill_inst w inst =
   cancel_ckpt_request_ev w inst;
   cancel_work_done_ev w inst;
   Arbiter.cancel_requests_of w inst;
-  let soft =
-    match w.cfg.Config.multilevel with
-    | Some m -> Rng.unit_float w.soft_rng < m.Config.soft_fraction
-    | None -> false
+  let nsnap = Array.length w.snap in
+  (* One uniform severity draw classifies the failure against every
+     storage level at once: snapshot level k survives when
+     [u < sl_survival], a hierarchy copy at level k when
+     [u < bl_survival]. *)
+  let has_ml = nsnap > 0 || Option.is_some w.hier in
+  let u = if has_ml then Rng.unit_float w.soft_rng else 2.0 in
+  (match w.hier with
+  | Some h -> Ckpt_hierarchy.apply_failure h ~owner:inst.spec.Jobgen.id ~u
+  | None -> ());
+  let soft_level =
+    let rec find k =
+      if k >= nsnap then None
+      else if u < w.snap.(k).Config.sl_survival then Some k
+      else find (k + 1)
+    in
+    find 0
   in
+  let soft = soft_level <> None in
   let lost, kept =
-    if soft then
-      (* Work captured by the newest local snapshot survives the failure. *)
-      List.partition (fun (_, t1) -> t1 > inst.local_safe_time) inst.uncommitted
+    if soft then begin
+      (* Work captured by the newest surviving snapshot survives the
+         failure. *)
+      let safe = ref neg_infinity in
+      for k = 0 to nsnap - 1 do
+        if u < w.snap.(k).Config.sl_survival && inst.local_safe_time.(k) > !safe then
+          safe := inst.local_safe_time.(k)
+      done;
+      let safe = !safe in
+      List.partition (fun (_, t1) -> t1 > safe) inst.uncommitted
+    end
     else (inst.uncommitted, [])
   in
   let ci = inst.spec.Jobgen.class_index in
@@ -51,15 +73,37 @@ let kill_inst w inst =
   Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:t ~nodes:inst.spec.Jobgen.nodes;
   Node_pool.release w.pool inst.nodes;
   Hashtbl.remove w.insts inst.idx;
-  let base = if soft then Float.max inst.committed inst.committed_local else inst.committed in
+  let local_best =
+    (* The most work any surviving snapshot level captured. *)
+    let best = ref 0.0 in
+    for k = 0 to nsnap - 1 do
+      if u < w.snap.(k).Config.sl_survival && inst.committed_local.(k) > !best then
+        best := inst.committed_local.(k)
+    done;
+    !best
+  in
+  let base =
+    match w.hier with
+    | None -> if soft then Float.max inst.committed local_best else inst.committed
+    | Some h ->
+        (* With a hierarchy the failure may have destroyed the copies
+           behind [committed]; only content with a surviving copy (in a
+           tier or on the PFS) counts. *)
+        let surv = Ckpt_hierarchy.surviving_content h ~owner:inst.spec.Jobgen.id ~inst:inst.idx in
+        if soft then Float.max surv local_best else surv
+  in
   let remaining = Float.max 0.0 (inst.total_work -. base) in
   w.restarts <- w.restarts + 1;
   w.queue <-
     {
       e_spec = inst.spec;
       e_remaining = remaining;
-      e_restart = (if soft then Soft else Hard);
-      e_has_ckpt = inst.has_ckpt || inst.entry_has_ckpt;
+      e_restart = (match soft_level with Some k -> Soft k | None -> Hard);
+      e_has_ckpt =
+        (inst.has_ckpt || inst.entry_has_ckpt)
+        && (match w.hier with
+           | Some h -> Ckpt_hierarchy.has_any_copy h ~owner:inst.spec.Jobgen.id
+           | None -> true);
       e_restarts = inst.restarts + 1;
     }
     :: w.queue;

@@ -22,6 +22,7 @@ let rec try_start w =
 
 and start_instance w entry nodes =
   let ci = entry.e_spec.Jobgen.class_index in
+  let nsnap = Array.length w.snap in
   let inst =
     {
       idx = w.next_inst;
@@ -45,15 +46,18 @@ and start_instance w entry nodes =
       wait_start = now w;
       ckpt_content = 0.0;
       holds_token = false;
-      committed_local = 0.0;
-      local_safe_time = now w;
+      (* Zero-length arrays are shared atoms: legacy (snapshot-free)
+         configs allocate nothing extra here. *)
+      committed_local = Array.make nsnap 0.0;
+      local_safe_time = Array.make nsnap (now w);
+      local_level = 0;
       local_pause_start = now w;
-      local_tick_ev = Engine.none;
+      local_tick_ev = Array.make nsnap Engine.none;
       local_done_ev = Engine.none;
       delay_ev = Engine.none;
       cb_work_done = ignore;
       cb_ckpt_request = ignore;
-      cb_local_tick = ignore;
+      cb_local_tick = Array.make nsnap ignore;
       cb_local_done = ignore;
     }
   in
@@ -69,19 +73,23 @@ and start_instance w entry nodes =
   Hashtbl.replace w.insts inst.idx inst;
   emit_inst w inst
     (Trace.Job_started { restarts = inst.restarts; nodes = inst.spec.Jobgen.nodes });
-  match (entry.e_restart, w.cfg.Config.multilevel) with
-  | Soft, Some m ->
-      (* Restart from node-local state: a fixed delay, no PFS traffic. *)
+  match entry.e_restart with
+  | Soft k when nsnap > 0 ->
+      (* Restart from the surviving snapshot level: a fixed per-level
+         delay, no PFS traffic. *)
+      let k = min k (nsnap - 1) in
       inst.activity <- Local_recovery;
+      inst.local_level <- k;
       inst.wait_start <- now w;
       inst.delay_ev <-
-        Engine.schedule_after w.engine ~kind:Ev_kind.job ~delay:m.Config.local_recovery_s
+        Engine.schedule_after w.engine ~kind:Ev_kind.job
+          ~delay:w.snap.(k).Config.sl_recovery_s
           (fun _ ->
             inst.delay_ev <- Engine.none;
             Metrics.record w.metrics ~t0:inst.wait_start ~t1:(now w)
               ~nodes:inst.spec.Jobgen.nodes Metrics.Recovery_io;
             on_blocking_io_done w inst Io.Recovery)
-  | (Fresh | Soft | Hard), _ ->
+  | Fresh | Soft _ | Hard ->
       let volume =
         if entry.e_restart <> Fresh then
           if entry.e_has_ckpt then inst.spec.Jobgen.ckpt_gb else inst.spec.Jobgen.input_gb
@@ -94,17 +102,35 @@ and start_instance w entry nodes =
    strategy; under a token discipline they queue, otherwise they start at
    once. *)
 and begin_blocking_io w inst kind volume =
-  match (kind, w.bb) with
-  | Io.Recovery, Some bb when Burst_buffer.resident_for bb ~owner:inst.spec.Jobgen.id ->
-      (* Fast restart: the newest checkpoint is still in the burst buffer. *)
-      let flow =
-        Burst_buffer.read bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
-          ~nodes:inst.spec.Jobgen.nodes ~volume_gb:volume ~on_complete:(fun () ->
-            on_blocking_io_done w inst kind)
-      in
-      inst.activity <- Doing_io (Burst_buffer.io bb, flow, kind)
-  | _ ->
-  if volume <= 0.0 then begin
+  let fast =
+    (* Fast restart: the newest surviving checkpoint is still in a buffer
+       tier, so the recovery read goes at that tier's speed. *)
+    kind = Io.Recovery
+    &&
+    match (w.bb, w.hier) with
+    | Some bb, _ when Burst_buffer.resident_for bb ~owner:inst.spec.Jobgen.id ->
+        let flow =
+          Burst_buffer.read bb ~owner:inst.spec.Jobgen.id ~job:inst.idx
+            ~nodes:inst.spec.Jobgen.nodes ~volume_gb:volume ~on_complete:(fun () ->
+              on_blocking_io_done w inst kind)
+        in
+        inst.activity <- Doing_io (Burst_buffer.io bb, flow, kind);
+        true
+    | _, Some h -> (
+        match Ckpt_hierarchy.recovery_source h ~owner:inst.spec.Jobgen.id with
+        | Some level ->
+            let pool, flow =
+              Ckpt_hierarchy.read h ~owner:inst.spec.Jobgen.id ~job:inst.idx
+                ~nodes:inst.spec.Jobgen.nodes ~volume_gb:volume ~level
+                ~on_complete:(fun () -> on_blocking_io_done w inst kind)
+            in
+            inst.activity <- Doing_io (pool, flow, kind);
+            true
+        | None -> false)
+    | _ -> false
+  in
+  if fast then ()
+  else if volume <= 0.0 then begin
     (* No bytes to move: complete through the flow engine's zero-volume
        path (an immediate event a kill can still abort), without taking the
        token. *)
@@ -150,7 +176,7 @@ and on_blocking_io_done w inst kind =
          from each commit's end, Section 2). *)
       emit_inst w inst Trace.Input_done;
       inst.last_commit_end <- now w;
-      inst.local_safe_time <- now w;
+      Array.fill inst.local_safe_time 0 (Array.length inst.local_safe_time) (now w);
       Ckpt_path.schedule_ckpt_request w inst;
       Ckpt_path.schedule_local_tick w inst;
       start_compute w inst

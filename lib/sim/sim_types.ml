@@ -20,8 +20,9 @@ module Io = Io_subsystem
 
 (* A queued (re)submission. [e_remaining] is the work left after the last
    committed checkpoint; [e_restart] marks how the next instance recovers
-   (a [Soft] restart reads node-local state under two-level CR). *)
-type restart_kind = Fresh | Soft | Hard
+   ([Soft k] restarts from the surviving snapshot level [k] under
+   multilevel CR). *)
+type restart_kind = Fresh | Soft of int | Hard
 
 type entry = {
   e_spec : Jobgen.spec;
@@ -64,11 +65,14 @@ type inst = {
   mutable wait_start : float;
   mutable ckpt_content : float;  (* work level a commit in flight captures *)
   mutable holds_token : bool;
-  (* two-level checkpointing state *)
-  mutable committed_local : float;  (* work level of the newest local snapshot *)
-  mutable local_safe_time : float;  (* wall time of that capture point *)
+  (* Multilevel (snapshot-level) checkpointing state, one slot per
+     {!Config.snapshot_level} (shallow → deep; all empty-array atoms when
+     the config has none, so legacy runs allocate nothing here). *)
+  committed_local : float array;  (* work level of each level's newest snapshot *)
+  local_safe_time : float array;  (* wall time of that capture point *)
+  mutable local_level : int;  (* level of the in-flight snapshot/recovery *)
   mutable local_pause_start : float;
-  mutable local_tick_ev : Engine.handle;
+  local_tick_ev : Engine.handle array;
   mutable local_done_ev : Engine.handle;
   mutable delay_ev : Engine.handle;  (* local-recovery delay *)
   (* Recycled event callbacks, built once per instance ({!Lifecycle} and
@@ -77,7 +81,7 @@ type inst = {
      allocating a fresh closure per event. *)
   mutable cb_work_done : Engine.t -> unit;
   mutable cb_ckpt_request : Engine.t -> unit;
-  mutable cb_local_tick : Engine.t -> unit;
+  cb_local_tick : (Engine.t -> unit) array;
   mutable cb_local_done : Engine.t -> unit;
 }
 
@@ -152,6 +156,8 @@ type w = {
   mutable queue : entry list;  (* priority order: restarts first *)
   insts : (int, inst) Hashtbl.t;
   bb : Burst_buffer.t option;
+  hier : Ckpt_hierarchy.t option;  (* buffer levels of [cfg.multilevel] *)
+  snap : Config.snapshot_level array;  (* snapshot levels, shallow → deep *)
   trace : Trace.t option;
   hooks : hooks option;  (* None keeps the hot path allocation-free *)
   soft_rng : Rng.t;  (* classifies failures soft/hard under two-level CR *)
@@ -196,10 +202,15 @@ let cancel_work_done_ev w inst =
   end
 
 let cancel_local_events w inst =
-  if not (Engine.is_none inst.local_tick_ev) then ignore (Engine.cancel w.engine inst.local_tick_ev);
+  let ticks = inst.local_tick_ev in
+  for k = 0 to Array.length ticks - 1 do
+    if not (Engine.is_none ticks.(k)) then begin
+      ignore (Engine.cancel w.engine ticks.(k));
+      ticks.(k) <- Engine.none
+    end
+  done;
   if not (Engine.is_none inst.local_done_ev) then ignore (Engine.cancel w.engine inst.local_done_ev);
   if not (Engine.is_none inst.delay_ev) then ignore (Engine.cancel w.engine inst.delay_ev);
-  inst.local_tick_ev <- Engine.none;
   inst.local_done_ev <- Engine.none;
   inst.delay_ev <- Engine.none
 
@@ -238,12 +249,18 @@ let release_token w inst =
     w.token_busy <- false
   end
 
-(* A flow may live on the PFS or inside the burst buffer; burst-buffer
-   writes additionally hold a capacity reservation to release. *)
+(* A flow may live on the PFS, inside the burst buffer, or on a hierarchy
+   level's pool; buffered writes additionally hold a capacity reservation
+   to release. *)
 let abort_inst_flow w sub flow =
   match w.bb with
   | Some bb when sub == Burst_buffer.io bb ->
       Burst_buffer.abort_write bb flow;
       (* Reads have no reservation; abort_write ignores them. *)
       Io.abort_flow sub flow
-  | _ -> Io.abort_flow sub flow
+  | _ -> (
+      match w.hier with
+      | Some h when Ckpt_hierarchy.owns_pool h sub ->
+          Ckpt_hierarchy.abort_write h ~pool:sub flow;
+          Io.abort_flow sub flow
+      | _ -> Io.abort_flow sub flow)

@@ -87,6 +87,7 @@ let snapshot_of w =
      subsystems so the probe reads current totals. *)
   Io.sync w.io;
   (match w.bb with Some bb -> Io.sync (Burst_buffer.io bb) | None -> ());
+  (match w.hier with Some h -> Ckpt_hierarchy.iter_pools h Io.sync | None -> ());
   let computing = ref 0 and in_io = ref 0 and waiting = ref 0 in
   Hashtbl.iter
     (fun _ inst ->
@@ -197,6 +198,30 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
   let io =
     Io.create ~engine ~metrics ~bandwidth_gbs:cfg.platform.Platform.bandwidth_gbs ~sharing
   in
+  (* Split the multilevel spec into its two storage kinds: snapshot levels
+     drive the local-tick machinery, buffer levels build the checkpoint
+     storage hierarchy (like the burst buffer, inert under Baseline). *)
+  let snap =
+    match cfg.multilevel with
+    | None -> [||]
+    | Some m ->
+        Array.of_list
+          (List.filter_map
+             (function Config.Snapshot s -> Some s | Config.Buffer _ -> None)
+             m.Config.levels)
+  in
+  let hier =
+    match (cfg.strategy, cfg.multilevel) with
+    | Strategy.Baseline, _ | _, None -> None
+    | _, Some m -> (
+        match
+          List.filter_map
+            (function Config.Buffer b -> Some b | Config.Snapshot _ -> None)
+            m.Config.levels
+        with
+        | [] -> None
+        | bufs -> Some (Ckpt_hierarchy.create ~engine ~metrics ~pfs:io bufs))
+  in
   let w =
     {
       cfg;
@@ -215,7 +240,9 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
       arbiter =
         Arbiter.of_strategy cfg.strategy
           ~node_mtbf_s:cfg.platform.Platform.node_mtbf_s
-          ~bandwidth_gbs:cfg.platform.Platform.bandwidth_gbs;
+          ~bandwidth_gbs:cfg.platform.Platform.bandwidth_gbs
+          ~levels:(1 + match hier with Some h -> Ckpt_hierarchy.levels_count h | None -> 0)
+          ();
       queue =
         Array.to_list
           (Array.map
@@ -239,6 +266,8 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
             Option.map
               (fun spec -> Burst_buffer.create ~engine ~metrics ~pfs:io spec)
               cfg.burst_buffer);
+      hier;
+      snap;
       token_busy = false;
       next_inst = 0;
       next_req = 0;
@@ -297,8 +326,16 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
              (c.App_class.name, Stats.running_mean w.interval_stats.(i)))
            classes);
     specs_total = Array.length specs;
-    bb_absorbed = (match w.bb with Some bb -> Burst_buffer.writes_absorbed bb | None -> 0);
-    bb_spilled = (match w.bb with Some bb -> Burst_buffer.writes_spilled bb | None -> 0);
+    bb_absorbed =
+      (match (w.bb, w.hier) with
+      | Some bb, _ -> Burst_buffer.writes_absorbed bb
+      | None, Some h -> Ckpt_hierarchy.writes_absorbed h
+      | None, None -> 0);
+    bb_spilled =
+      (match (w.bb, w.hier) with
+      | Some bb, _ -> Burst_buffer.writes_spilled bb
+      | None, Some h -> Ckpt_hierarchy.writes_spilled h
+      | None, None -> 0);
     mean_ckpt_wait =
       Array.to_list
         (Array.mapi

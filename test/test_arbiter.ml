@@ -50,15 +50,16 @@ let mk_inst ~idx ~nodes ~last_commit_end =
     wait_start = 0.0;
     ckpt_content = 0.0;
     holds_token = false;
-    committed_local = 0.0;
-    local_safe_time = 0.0;
+    committed_local = [||];
+    local_safe_time = [||];
+    local_level = 0;
     local_pause_start = 0.0;
-    local_tick_ev = T.Engine.none;
+    local_tick_ev = [||];
     local_done_ev = T.Engine.none;
     delay_ev = T.Engine.none;
     cb_work_done = ignore;
     cb_ckpt_request = ignore;
-    cb_local_tick = ignore;
+    cb_local_tick = [||];
     cb_local_done = ignore;
   }
 

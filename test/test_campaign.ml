@@ -105,13 +105,30 @@ let spec_gen =
            (fun (capacity_gb, bandwidth_gbs) -> { Burst_buffer.capacity_gb; bandwidth_gbs })
            (pair (float_range 10.0 1e6) (float_range 10.0 5000.0)))
     in
+    let snapshot_level =
+      map
+        (fun ((sl_period_s, sl_cost_s), (sl_recovery_s, sl_survival)) ->
+          Config.Snapshot { Config.sl_period_s; sl_cost_s; sl_recovery_s; sl_survival })
+        (pair (pair (float_range 60.0 3600.0) (float_range 1.0 60.0))
+           (pair (float_range 1.0 120.0) (float_range 0.0 1.0)))
+    in
+    let buffer_level =
+      map
+        (fun ((bl_capacity_gb, bl_bandwidth_gbs), (bl_flush_gbs, bl_survival)) ->
+          Config.Buffer
+            { Config.bl_capacity_gb; bl_bandwidth_gbs; bl_flush_gbs; bl_survival })
+        (pair (pair (float_range 10.0 1e6) (float_range 10.0 5000.0))
+           (pair (opt (float_range 1.0 100.0)) (float_range 0.0 1.0)))
+    in
+    (* Snapshot tiers before buffer tiers, as Config.validate requires; the
+       singleton-snapshot case exercises the legacy JSON encoding. *)
     let multilevel =
       opt
         (map
-           (fun ((local_period_s, local_cost_s), (local_recovery_s, soft_fraction)) ->
-             { Config.local_period_s; local_cost_s; local_recovery_s; soft_fraction })
-           (pair (pair (float_range 60.0 3600.0) (float_range 1.0 60.0))
-              (pair (float_range 1.0 120.0) (float_range 0.0 1.0))))
+           (fun (snaps, bufs) -> { Config.levels = snaps @ bufs })
+           (pair
+              (list_size (int_range 0 2) snapshot_level)
+              (list_size (int_range 0 2) buffer_level)))
     in
     map
       (fun (((platform, classes), (strategies, axis)),
@@ -238,6 +255,142 @@ let test_key_survives_neutral_edits () =
     (E.Spec.digest renamed <> E.Spec.digest base_spec);
   Alcotest.(check bool) "more reps changes spec digest" true
     (E.Spec.digest grown <> E.Spec.digest base_spec)
+
+(* ------------------------------------------------------------------ *)
+(* Level-list knobs: legacy decode, encoding shape, digest sensitivity  *)
+(* ------------------------------------------------------------------ *)
+
+module Manifest = Cocheck_obs.Manifest
+
+let buffer_level ?flush ?(survival = 1.0) ?(cap = 100.0) ?(bw = 10.0) () =
+  Config.Buffer
+    {
+      Config.bl_capacity_gb = cap;
+      bl_bandwidth_gbs = bw;
+      bl_flush_gbs = flush;
+      bl_survival = survival;
+    }
+
+let ml_digest_spec ?name ?multilevel () =
+  E.Spec.make ?name ~platform:(tiny_platform ()) ~classes:[ tiny_class ]
+    ~strategies:[ Strategy.Least_waste ] ~reps:3 ~seed:5 ~days:1.0 ?multilevel ()
+
+let test_legacy_multilevel_json_decodes () =
+  (* A hand-written two-level spec in the pre-hierarchy format must keep
+     decoding — to the singleton-snapshot level list. *)
+  let legacy =
+    "{\"local_period_s\":600.0,\"local_cost_s\":5.0,\"local_recovery_s\":30.0,\
+     \"soft_fraction\":0.6}"
+  in
+  match Json.of_string legacy with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Manifest.multilevel_of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok m ->
+          Alcotest.(check bool) "decodes to the singleton snapshot level" true
+            (m
+            = Config.local_level ~period_s:600.0 ~cost_s:5.0 ~recovery_s:30.0
+                ~soft_fraction:0.6))
+
+let test_singleton_snapshot_encodes_legacy_shape () =
+  (* The singleton-snapshot list serializes in the legacy four-field shape
+     (same members, no "levels" wrapper), so pre-hierarchy cell keys stay
+     valid byte-for-byte; anything else gets the "levels" wrapper. *)
+  let legacy =
+    Manifest.multilevel_to_json
+      (Config.local_level ~period_s:600.0 ~cost_s:5.0 ~recovery_s:30.0
+         ~soft_fraction:0.6)
+  in
+  Alcotest.(check bool) "no levels wrapper" true (Json.member "levels" legacy = None);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (Json.member k legacy <> None))
+    [ "local_period_s"; "local_cost_s"; "local_recovery_s"; "soft_fraction" ];
+  let hier =
+    Manifest.multilevel_to_json { Config.levels = [ buffer_level ~flush:5.0 () ] }
+  in
+  Alcotest.(check bool) "buffer levels get the wrapper" true
+    (Json.member "levels" hier <> None);
+  (* And both shapes round-trip exactly. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "round-trip" true
+        (Manifest.multilevel_of_json (Manifest.multilevel_to_json m) = Ok m))
+    [
+      Config.local_level ~period_s:600.0 ~cost_s:5.0 ~recovery_s:30.0 ~soft_fraction:0.6;
+      { Config.levels = [ buffer_level ~flush:5.0 () ] };
+      {
+        Config.levels =
+          [
+            Config.Snapshot
+              {
+                Config.sl_period_s = 120.0;
+                sl_cost_s = 1.0;
+                sl_recovery_s = 5.0;
+                sl_survival = 0.5;
+              };
+            buffer_level ();
+          ];
+      };
+    ]
+
+let test_level_knobs_change_key () =
+  let key multilevel = key_of (ml_digest_spec ~multilevel ()) () in
+  let base = key { Config.levels = [ buffer_level () ] } in
+  let differs what k = Alcotest.(check bool) what true (k <> base) in
+  differs "flush bandwidth" (key { Config.levels = [ buffer_level ~flush:5.0 () ] });
+  differs "survival" (key { Config.levels = [ buffer_level ~survival:0.5 () ] });
+  differs "capacity" (key { Config.levels = [ buffer_level ~cap:200.0 () ] });
+  differs "added snapshot tier"
+    (key
+       {
+         Config.levels =
+           [
+             Config.Snapshot
+               {
+                 Config.sl_period_s = 120.0;
+                 sl_cost_s = 1.0;
+                 sl_recovery_s = 5.0;
+                 sl_survival = 0.5;
+               };
+             buffer_level ();
+           ];
+       });
+  (* Renaming the campaign is still a neutral edit with level knobs set. *)
+  Alcotest.(check string) "rename keeps keys" base
+    (key_of
+       (ml_digest_spec ~name:"renamed"
+          ~multilevel:{ Config.levels = [ buffer_level () ] } ())
+       ())
+
+let test_flush_axis () =
+  (match
+     E.Spec.make ~platform:(tiny_platform ()) ~strategies:[ Strategy.Least_waste ]
+       ~axis:(E.Spec.Flush_gbs [ 5.0 ]) ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flush axis without a buffer level accepted");
+  let spec =
+    E.Spec.make ~name:"flush-axis" ~platform:(tiny_platform ())
+      ~classes:[ tiny_class ] ~strategies:[ Strategy.Least_waste ]
+      ~axis:(E.Spec.Flush_gbs [ 2.0; 8.0 ])
+      ~multilevel:{ Config.levels = [ buffer_level () ] }
+      ~reps:1 ~days:0.5 ()
+  in
+  Alcotest.(check int) "one cell per flush value" 2 (List.length (E.Spec.cells spec));
+  Alcotest.(check string) "axis label" "Flush Bandwidth (GB/s)" (E.Spec.axis_label spec);
+  Alcotest.(check bool) "axis round-trips" true
+    (E.Spec.of_json (E.Spec.to_json spec) = Ok spec);
+  let cfg =
+    E.Spec.config spec ~cell:(List.hd (E.Spec.cells spec))
+      ~strategy:Strategy.Least_waste ~rep:0
+  in
+  match cfg.Config.multilevel with
+  | Some { Config.levels = [ Config.Buffer b ] } ->
+      Alcotest.(check (option (float 0.0))) "cell overrides the flush bandwidth"
+        (Some 2.0) b.Config.bl_flush_gbs
+  | _ -> Alcotest.fail "expected one buffer level in the cell config"
 
 (* ------------------------------------------------------------------ *)
 (* Runner: cache, resume, status                                        *)
@@ -518,6 +671,13 @@ let () =
             test_key_changes_with_result_fields;
           Alcotest.test_case "stable under neutral edits" `Quick
             test_key_survives_neutral_edits;
+          Alcotest.test_case "legacy two-level JSON decodes" `Quick
+            test_legacy_multilevel_json_decodes;
+          Alcotest.test_case "singleton snapshot keeps legacy shape" `Quick
+            test_singleton_snapshot_encodes_legacy_shape;
+          Alcotest.test_case "level knobs change keys" `Quick
+            test_level_knobs_change_key;
+          Alcotest.test_case "flush axis" `Quick test_flush_axis;
         ] );
       ( "runner",
         [

@@ -205,15 +205,14 @@ let test_bb_capacity_reserved_and_drained () =
   checkf "drained" 0.0 (Burst_buffer.used_gb bb);
   Alcotest.(check int) "no drains pending" 0 (Burst_buffer.drains_pending bb)
 
-let test_bb_write_does_not_fit_raises () =
+let test_bb_write_does_not_fit_spills () =
   let _, _, _, bb = mk_bb ~capacity:10.0 () in
-  Alcotest.(check bool) "oversized write rejected" true
-    (match
-       Burst_buffer.write bb ~owner:1 ~job:0 ~nodes:1 ~volume_gb:20.0
-         ~on_complete:(fun () -> ())
-     with
-    | exception Invalid_argument _ -> true
-    | _ -> false)
+  Alcotest.(check bool) "oversized write returns None" true
+    (Burst_buffer.write bb ~owner:1 ~job:0 ~nodes:1 ~volume_gb:20.0
+       ~on_complete:(fun () -> ())
+    = None);
+  Alcotest.(check int) "spill counted by the buffer" 1 (Burst_buffer.writes_spilled bb);
+  checkf "no capacity reserved" 0.0 (Burst_buffer.used_gb bb)
 
 let test_bb_residency_lifecycle () =
   let engine, _, _, bb = mk_bb () in
@@ -247,8 +246,9 @@ let test_bb_resident_while_draining () =
 let test_bb_abort_releases_reservation () =
   let engine, _, _, bb = mk_bb ~bb_bw:1.0 () in
   let flow =
-    Burst_buffer.write bb ~owner:1 ~job:0 ~nodes:1 ~volume_gb:50.0
-      ~on_complete:(fun () -> Alcotest.fail "aborted write must not complete")
+    Option.get
+      (Burst_buffer.write bb ~owner:1 ~job:0 ~nodes:1 ~volume_gb:50.0
+         ~on_complete:(fun () -> Alcotest.fail "aborted write must not complete"))
   in
   ignore
     (Engine.schedule_at engine ~time:1.0 (fun _ -> Burst_buffer.abort_write bb flow));
@@ -391,12 +391,7 @@ let test_two_level_validation () =
 (* Simulation side. A failure-heavy toy platform where local snapshots are
    nearly free: two-level CR must cut the waste when failures are soft. *)
 let ml_spec ?(soft = 1.0) () =
-  {
-    Cocheck_sim.Config.local_period_s = 120.0;
-    local_cost_s = 1.0;
-    local_recovery_s = 5.0;
-    soft_fraction = soft;
-  }
+  Config.local_level ~period_s:120.0 ~cost_s:1.0 ~recovery_s:5.0 ~soft_fraction:soft
 
 let run_ml ?multilevel () =
   let platform =
@@ -454,11 +449,58 @@ let test_multilevel_validation () =
     Platform.make ~name:"tiny" ~nodes:8 ~mem_per_node_gb:1.0 ~bandwidth_gbs:1.0
       ~node_mtbf_s:(Units.years 1.0)
   in
+  let rejected multilevel =
+    match
+      Config.make ~platform ~classes:[ tiny_class ] ~strategy:Strategy.Least_waste
+        ~multilevel ()
+    with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
   Alcotest.(check bool) "zero period rejected" true
+    (rejected
+       (Config.local_level ~period_s:0.0 ~cost_s:1.0 ~recovery_s:5.0 ~soft_fraction:0.5));
+  Alcotest.(check bool) "bad survival rejected" true
+    (rejected
+       (Config.local_level ~period_s:120.0 ~cost_s:1.0 ~recovery_s:5.0 ~soft_fraction:1.5));
+  Alcotest.(check bool) "buffer before snapshot rejected" true
+    (rejected
+       {
+         Config.levels =
+           [
+             Config.Buffer
+               {
+                 Config.bl_capacity_gb = 100.0;
+                 bl_bandwidth_gbs = 10.0;
+                 bl_flush_gbs = None;
+                 bl_survival = 1.0;
+               };
+             Config.Snapshot
+               {
+                 Config.sl_period_s = 120.0;
+                 sl_cost_s = 1.0;
+                 sl_recovery_s = 5.0;
+                 sl_survival = 0.5;
+               };
+           ];
+       });
+  Alcotest.(check bool) "buffer level exclusive with burst_buffer" true
     (match
-       Config.make ~platform ~classes:[ tiny_class ]
-         ~strategy:Strategy.Least_waste
-         ~multilevel:{ (ml_spec ()) with Cocheck_sim.Config.local_period_s = 0.0 }
+       Config.make ~platform ~classes:[ tiny_class ] ~strategy:Strategy.Least_waste
+         ~burst_buffer:{ Burst_buffer.capacity_gb = 64.0; bandwidth_gbs = 8.0 }
+         ~multilevel:
+           {
+             Config.levels =
+               [
+                 Config.Buffer
+                   {
+                     Config.bl_capacity_gb = 100.0;
+                     bl_bandwidth_gbs = 10.0;
+                     bl_flush_gbs = None;
+                     bl_survival = 1.0;
+                   };
+               ];
+           }
          ()
      with
     | exception Invalid_argument _ -> true
@@ -664,7 +706,7 @@ let () =
         [
           Alcotest.test_case "fast commit" `Quick test_bb_write_fast_commit;
           Alcotest.test_case "capacity lifecycle" `Quick test_bb_capacity_reserved_and_drained;
-          Alcotest.test_case "oversized write rejected" `Quick test_bb_write_does_not_fit_raises;
+          Alcotest.test_case "oversized write spills" `Quick test_bb_write_does_not_fit_spills;
           Alcotest.test_case "residency lifecycle" `Quick test_bb_residency_lifecycle;
           Alcotest.test_case "resident while draining" `Quick test_bb_resident_while_draining;
           Alcotest.test_case "abort releases space" `Quick test_bb_abort_releases_reservation;

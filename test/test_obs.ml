@@ -329,8 +329,8 @@ let exotic_cfg () =
     ~interference_alpha:0.3
     ~burst_buffer:{ Cocheck_sim.Burst_buffer.capacity_gb = 1000.0; bandwidth_gbs = 2000.0 }
     ~multilevel:
-      { Config.local_period_s = 600.0; local_cost_s = 5.0; local_recovery_s = 30.0;
-        soft_fraction = 0.6 }
+      (Config.local_level ~period_s:600.0 ~cost_s:5.0 ~recovery_s:30.0
+         ~soft_fraction:0.6)
     ()
 
 let test_manifest_config_roundtrip () =

@@ -458,12 +458,8 @@ let test_random_scenario_invariants =
       let multilevel =
         if with_ml then
           Some
-            {
-              Config.local_period_s = 300.0;
-              local_cost_s = 2.0;
-              local_recovery_s = 4.0;
-              soft_fraction = 0.5;
-            }
+            (Config.local_level ~period_s:300.0 ~cost_s:2.0 ~recovery_s:4.0
+               ~soft_fraction:0.5)
         else None
       in
       let cfg =
