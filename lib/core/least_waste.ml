@@ -71,104 +71,201 @@ module Aggregate = struct
         last_commit_end : float;
       }
 
-  (* The scalars an entry contributed at [add] time, so [remove] subtracts
-     exactly what was added even if the caller's state moved meanwhile. *)
-  type contrib = { entry : entry; da : float; db : float; ds1 : float }
+  (* Members live in a struct-of-arrays pool: float inputs and the scalars
+     each member contributed at add time sit in flat [float array]s (reads
+     and writes unbox), tags and node counts in [int array]s, and the
+     key → slot index is the open-addressing {!Cocheck_util.Int_table} —
+     so the simulator-facing [add_io]/[add_ckpt]/[remove]/[waste] cycle
+     allocates nothing. The contribution scalars are stored, not
+     recomputed, so [remove] subtracts exactly what was added; removal
+     swaps the last slot into the hole, keeping slots dense.
+
+     The variant [entry] API survives as the cold-path wrapper ([add]
+     destructures into the typed adders, [find] rebuilds the variant): the
+     property tests and the multi-level fold speak it. *)
 
   (* Each running sum is Kahan–Babuška compensated: adds and removals of
      large members would otherwise leave ulp-sized residue behind a
      now-small pool, and the drift (≈ ops × ulp(historical max)) can reach
      the magnitude of a small survivor's waste. Compensation pushes the
-     drift to second order; the drain-point reset clears even that. *)
+     drift to second order; the drain-point reset clears even that. The
+     six scalars live in [acc] — (sum, compensation) pairs at (0,1) for A
+     the coefficient of [now], (2,3) for B the constant part, (4,5) for S1
+     the coefficient of [v] — as float-array stores, unlike mutable float
+     fields on this mixed record, don't box. *)
   type t = {
     node_mtbf_s : float;
-    entries : (int, contrib) Hashtbl.t;
-    mutable a : float;  (* coefficient of [now] in Σ term_j *)
-    mutable ca : float;
-    mutable b : float;  (* constant part of Σ term_j *)
-    mutable cb : float;
-    mutable s1 : float;  (* coefficient of [v] in Σ term_j *)
-    mutable cs1 : float;
+    index : Cocheck_util.Int_table.t;  (* key → slot *)
+    mutable n : int;  (* live slots: 0..n-1 are dense *)
+    mutable e_key : int array;
+    mutable e_tag : int array;  (* tag_io | tag_ckpt *)
+    mutable e_nodes : int array;
+    mutable e_service : float array;  (* service_s (io) | ckpt_s (ckpt) *)
+    mutable e_x1 : float array;  (* enqueued_at (io) | recovery_s (ckpt) *)
+    mutable e_x2 : float array;  (* unused (io) | last_commit_end (ckpt) *)
+    mutable e_da : float array;  (* contribution to A recorded at add *)
+    mutable e_db : float array;  (* … to B *)
+    mutable e_ds1 : float array;  (* … to S1 *)
+    acc : float array;
   }
+
+  let tag_io = 0
+  let tag_ckpt = 1
 
   let create ~node_mtbf_s =
     if node_mtbf_s <= 0.0 then
       invalid_arg "Least_waste.Aggregate.create: MTBF must be positive";
     {
       node_mtbf_s;
-      entries = Hashtbl.create 64;
-      a = 0.0;
-      ca = 0.0;
-      b = 0.0;
-      cb = 0.0;
-      s1 = 0.0;
-      cs1 = 0.0;
+      index = Cocheck_util.Int_table.create ~initial:64 ();
+      n = 0;
+      e_key = [||];
+      e_tag = [||];
+      e_nodes = [||];
+      e_service = [||];
+      e_x1 = [||];
+      e_x2 = [||];
+      e_da = [||];
+      e_db = [||];
+      e_ds1 = [||];
+      acc = Array.make 6 0.0;
     }
 
-  let size t = Hashtbl.length t.entries
+  let size t = t.n
 
-  let contrib_of t entry =
-    match entry with
-    | Io_entry { nodes; service_s = _; enqueued_at } ->
-        let n = float_of_int nodes in
-        { entry; da = n; db = -.(n *. enqueued_at); ds1 = n }
-    | Ckpt_entry { nodes; ckpt_s = _; recovery_s; last_commit_end } ->
-        let q = float_of_int nodes in
-        let k = q *. q /. t.node_mtbf_s in
-        { entry; da = k; db = k *. (recovery_s -. last_commit_end); ds1 = 0.5 *. k }
+  let grow t =
+    let cap = Array.length t.e_key in
+    let cap' = if cap = 0 then 16 else 2 * cap in
+    let gi a = Array.append a (Array.make (cap' - cap) 0) in
+    let gf a = Array.append a (Array.make (cap' - cap) 0.0) in
+    t.e_key <- gi t.e_key;
+    t.e_tag <- gi t.e_tag;
+    t.e_nodes <- gi t.e_nodes;
+    t.e_service <- gf t.e_service;
+    t.e_x1 <- gf t.e_x1;
+    t.e_x2 <- gf t.e_x2;
+    t.e_da <- gf t.e_da;
+    t.e_db <- gf t.e_db;
+    t.e_ds1 <- gf t.e_ds1
 
-  (* One Kahan–Babuška (Neumaier) step on a (sum, compensation) pair. *)
-  let[@inline] accumulate t ~sign (c : contrib) =
-    let step sum comp x =
-      let s = sum +. x in
-      let comp =
-        if Float.abs sum >= Float.abs x then comp +. (sum -. s +. x)
-        else comp +. (x -. s +. sum)
-      in
-      (s, comp)
+  (* One Kahan–Babuška (Neumaier) step on the (sum, compensation) pair at
+     [acc.(i), acc.(i+1)] — the float expression of the retired
+     tuple-returning step, verbatim. *)
+  let[@inline] kstep acc i x =
+    let sum = acc.(i) in
+    let comp = acc.(i + 1) in
+    let s = sum +. x in
+    let comp =
+      if Float.abs sum >= Float.abs x then comp +. (sum -. s +. x)
+      else comp +. (x -. s +. sum)
     in
-    let a, ca = step t.a t.ca (sign *. c.da) in
-    t.a <- a;
-    t.ca <- ca;
-    let b, cb = step t.b t.cb (sign *. c.db) in
-    t.b <- b;
-    t.cb <- cb;
-    let s1, cs1 = step t.s1 t.cs1 (sign *. c.ds1) in
-    t.s1 <- s1;
-    t.cs1 <- cs1
+    acc.(i) <- s;
+    acc.(i + 1) <- comp
+
+  let alloc_slot t ~key =
+    if Cocheck_util.Int_table.mem t.index key then
+      invalid_arg "Least_waste.Aggregate.add: duplicate key";
+    if t.n = Array.length t.e_key then grow t;
+    let slot = t.n in
+    t.n <- slot + 1;
+    t.e_key.(slot) <- key;
+    Cocheck_util.Int_table.set t.index key slot;
+    slot
+
+  let add_io t ~key ~nodes ~service_s ~enqueued_at =
+    let slot = alloc_slot t ~key in
+    t.e_tag.(slot) <- tag_io;
+    t.e_nodes.(slot) <- nodes;
+    t.e_service.(slot) <- service_s;
+    t.e_x1.(slot) <- enqueued_at;
+    t.e_x2.(slot) <- 0.0;
+    let n = float_of_int nodes in
+    let da = n and db = -.(n *. enqueued_at) and ds1 = n in
+    t.e_da.(slot) <- da;
+    t.e_db.(slot) <- db;
+    t.e_ds1.(slot) <- ds1;
+    kstep t.acc 0 da;
+    kstep t.acc 2 db;
+    kstep t.acc 4 ds1
+
+  let add_ckpt t ~key ~nodes ~ckpt_s ~recovery_s ~last_commit_end =
+    let slot = alloc_slot t ~key in
+    t.e_tag.(slot) <- tag_ckpt;
+    t.e_nodes.(slot) <- nodes;
+    t.e_service.(slot) <- ckpt_s;
+    t.e_x1.(slot) <- recovery_s;
+    t.e_x2.(slot) <- last_commit_end;
+    let q = float_of_int nodes in
+    let k = q *. q /. t.node_mtbf_s in
+    let da = k and db = k *. (recovery_s -. last_commit_end) and ds1 = 0.5 *. k in
+    t.e_da.(slot) <- da;
+    t.e_db.(slot) <- db;
+    t.e_ds1.(slot) <- ds1;
+    kstep t.acc 0 da;
+    kstep t.acc 2 db;
+    kstep t.acc 4 ds1
 
   let add t ~key entry =
-    if Hashtbl.mem t.entries key then
-      invalid_arg "Least_waste.Aggregate.add: duplicate key";
-    let c = contrib_of t entry in
-    Hashtbl.replace t.entries key c;
-    accumulate t ~sign:1.0 c
+    match entry with
+    | Io_entry { nodes; service_s; enqueued_at } ->
+        add_io t ~key ~nodes ~service_s ~enqueued_at
+    | Ckpt_entry { nodes; ckpt_s; recovery_s; last_commit_end } ->
+        add_ckpt t ~key ~nodes ~ckpt_s ~recovery_s ~last_commit_end
 
   let remove t ~key =
-    match Hashtbl.find_opt t.entries key with
-    | None -> ()
-    | Some c ->
-        Hashtbl.remove t.entries key;
-        if Hashtbl.length t.entries = 0 then begin
-          (* Drain point: reset exactly, so not even second-order drift
-             from a long add/remove history outlives a busy period. *)
-          t.a <- 0.0;
-          t.ca <- 0.0;
-          t.b <- 0.0;
-          t.cb <- 0.0;
-          t.s1 <- 0.0;
-          t.cs1 <- 0.0
-        end
-        else accumulate t ~sign:(-1.0) c
+    let slot = Cocheck_util.Int_table.find t.index key in
+    if slot <> Cocheck_util.Int_table.not_found then begin
+      let da = t.e_da.(slot) in
+      let db = t.e_db.(slot) in
+      let ds1 = t.e_ds1.(slot) in
+      ignore (Cocheck_util.Int_table.remove t.index key);
+      let last = t.n - 1 in
+      if slot < last then begin
+        t.e_key.(slot) <- t.e_key.(last);
+        t.e_tag.(slot) <- t.e_tag.(last);
+        t.e_nodes.(slot) <- t.e_nodes.(last);
+        t.e_service.(slot) <- t.e_service.(last);
+        t.e_x1.(slot) <- t.e_x1.(last);
+        t.e_x2.(slot) <- t.e_x2.(last);
+        t.e_da.(slot) <- t.e_da.(last);
+        t.e_db.(slot) <- t.e_db.(last);
+        t.e_ds1.(slot) <- t.e_ds1.(last);
+        Cocheck_util.Int_table.set t.index t.e_key.(slot) slot
+      end;
+      t.n <- last;
+      if t.n = 0 then begin
+        (* Drain point: reset exactly, so not even second-order drift
+           from a long add/remove history outlives a busy period. *)
+        t.acc.(0) <- 0.0;
+        t.acc.(1) <- 0.0;
+        t.acc.(2) <- 0.0;
+        t.acc.(3) <- 0.0;
+        t.acc.(4) <- 0.0;
+        t.acc.(5) <- 0.0
+      end
+      else begin
+        kstep t.acc 0 (-.da);
+        kstep t.acc 2 (-.db);
+        kstep t.acc 4 (-.ds1)
+      end
+    end
 
-  let mem t ~key = Hashtbl.mem t.entries key
+  let mem t ~key = Cocheck_util.Int_table.mem t.index key
 
   let service_time = function
     | Io_entry { service_s; _ } -> service_s
     | Ckpt_entry { ckpt_s; _ } -> ckpt_s
 
-  (* The entry's own Eq. (1)/(2) term, with the same float expression the
+  (* The slot's own Eq. (1)/(2) term, with the same float expression the
      list oracle evaluates (waited/exposed materialized as now − clock). *)
+  let term_at t ~now ~service_s slot =
+    if t.e_tag.(slot) = tag_io then
+      float_of_int t.e_nodes.(slot) *. (now -. t.e_x1.(slot) +. service_s)
+    else
+      let q = float_of_int t.e_nodes.(slot) in
+      q *. q /. t.node_mtbf_s
+      *. (t.e_x1.(slot) +. (now -. t.e_x2.(slot)) +. (service_s /. 2.0))
+
   let term t ~now ~service_s entry =
     match entry with
     | Io_entry { nodes; enqueued_at; _ } ->
@@ -179,19 +276,37 @@ module Aggregate = struct
         *. (recovery_s +. (now -. last_commit_end) +. (service_s /. 2.0))
 
   let total_term t ~now ~service_s =
-    (((t.a +. t.ca) *. now) +. (t.b +. t.cb)) +. ((t.s1 +. t.cs1) *. service_s)
+    (((t.acc.(0) +. t.acc.(1)) *. now) +. (t.acc.(2) +. t.acc.(3)))
+    +. ((t.acc.(4) +. t.acc.(5)) *. service_s)
+
+  let entry_at t slot =
+    if t.e_tag.(slot) = tag_io then
+      Io_entry
+        {
+          nodes = t.e_nodes.(slot);
+          service_s = t.e_service.(slot);
+          enqueued_at = t.e_x1.(slot);
+        }
+    else
+      Ckpt_entry
+        {
+          nodes = t.e_nodes.(slot);
+          ckpt_s = t.e_service.(slot);
+          recovery_s = t.e_x1.(slot);
+          last_commit_end = t.e_x2.(slot);
+        }
 
   let find t ~key =
-    match Hashtbl.find_opt t.entries key with
-    | None -> None
-    | Some c -> Some c.entry
+    let slot = Cocheck_util.Int_table.find t.index key in
+    if slot = Cocheck_util.Int_table.not_found then None else Some (entry_at t slot)
 
   let waste t ~now ~key =
-    match Hashtbl.find_opt t.entries key with
-    | None -> invalid_arg "Least_waste.Aggregate.waste: unknown key"
-    | Some c ->
-        let v = service_time c.entry in
-        v *. (total_term t ~now ~service_s:v -. term t ~now ~service_s:v c.entry)
+    let slot = Cocheck_util.Int_table.find t.index key in
+    if slot = Cocheck_util.Int_table.not_found then
+      invalid_arg "Least_waste.Aggregate.waste: unknown key"
+    else
+      let v = t.e_service.(slot) in
+      v *. (total_term t ~now ~service_s:v -. term_at t ~now ~service_s:v slot)
 end
 
 (* Level-aware pools: one {!Aggregate} (one affine A·now + B + S1·v triple)
@@ -241,6 +356,26 @@ module Levels = struct
       Aggregate.add t.aggs.(level) ~key entry;
       Hashtbl.replace t.level_of key level
     end
+
+  (* Typed adders mirroring {!Aggregate.add_io}/{!Aggregate.add_ckpt}: the
+     single-level fast path stays allocation-free (no variant to box), the
+     multi-level path shares [add]'s bookkeeping. *)
+  let add_io t ~key ~level ~nodes ~service_s ~enqueued_at =
+    if Array.length t.aggs = 1 then begin
+      if level <> 0 then invalid_arg "Least_waste.Levels.add: level out of range";
+      Aggregate.add_io t.aggs.(0) ~key ~nodes ~service_s ~enqueued_at
+    end
+    else add t ~key ~level (Aggregate.Io_entry { nodes; service_s; enqueued_at })
+
+  let add_ckpt t ~key ~level ~nodes ~ckpt_s ~recovery_s ~last_commit_end =
+    if Array.length t.aggs = 1 then begin
+      if level <> 0 then invalid_arg "Least_waste.Levels.add: level out of range";
+      Aggregate.add_ckpt t.aggs.(0) ~key ~nodes ~ckpt_s ~recovery_s
+        ~last_commit_end
+    end
+    else
+      add t ~key ~level
+        (Aggregate.Ckpt_entry { nodes; ckpt_s; recovery_s; last_commit_end })
 
   let remove t ~key =
     if Array.length t.aggs = 1 then Aggregate.remove t.aggs.(0) ~key

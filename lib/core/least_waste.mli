@@ -76,6 +76,21 @@ module Aggregate : sig
   val add : t -> key:int -> entry -> unit
   (** O(1). Raises [Invalid_argument] on a duplicate key. *)
 
+  val add_io : t -> key:int -> nodes:int -> service_s:float -> enqueued_at:float -> unit
+  (** [add] of an [Io_entry] without boxing the variant: the fields land
+      directly in the pool's flat arrays, so the simulator's per-request
+      hot path allocates nothing here. Same duplicate-key contract. *)
+
+  val add_ckpt :
+    t ->
+    key:int ->
+    nodes:int ->
+    ckpt_s:float ->
+    recovery_s:float ->
+    last_commit_end:float ->
+    unit
+  (** [add] of a [Ckpt_entry] without boxing the variant. *)
+
   val remove : t -> key:int -> unit
   (** O(1); subtracts exactly the contribution [add] recorded for [key]
       (no-op on unknown keys). *)
@@ -125,6 +140,22 @@ module Levels : sig
   val add : t -> key:int -> level:int -> Aggregate.entry -> unit
   (** O(1). Raises [Invalid_argument] on a duplicate key (across all
       levels) or a level out of range. *)
+
+  val add_io :
+    t -> key:int -> level:int -> nodes:int -> service_s:float -> enqueued_at:float -> unit
+  (** {!add} of an [Io_entry] without boxing the variant (see
+      {!Aggregate.add_io}); same key and level contracts. *)
+
+  val add_ckpt :
+    t ->
+    key:int ->
+    level:int ->
+    nodes:int ->
+    ckpt_s:float ->
+    recovery_s:float ->
+    last_commit_end:float ->
+    unit
+  (** {!add} of a [Ckpt_entry] without boxing the variant. *)
 
   val remove : t -> key:int -> unit
   (** O(1); no-op on unknown keys. *)

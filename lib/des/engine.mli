@@ -55,6 +55,10 @@ val pending : t -> handle -> bool
 val time_of : t -> handle -> float option
 (** Firing time of a still-pending event. *)
 
+val time_is : t -> handle -> time:float -> bool
+(** [time_is t h ~time] is [time_of t h = Some time] without the option and
+    boxed-float allocation; [false] for fired or cancelled events. *)
+
 val step : t -> bool
 (** Process the next event; [false] when the calendar is empty. *)
 

@@ -5,85 +5,93 @@ module Least_waste = Cocheck_core.Least_waste
 module type S = Sim_types.ARBITER
 
 (* ------------------------------------------------------------------ *)
-(* Arrival-ordered pool indexed by request id.                          *)
+(* Arrival-ordered pool of pooled request records.                      *)
 (*                                                                      *)
 (* The policies below (Least-Waste, Greedy-Exposure) must scan every    *)
 (* live request per grant anyway, but enqueue, withdrawal and the       *)
-(* post-selection removal are all O(1) via the id index — replacing the *)
-(* retired [pool @ [req]] / [List.find] / [List.filter] pattern that    *)
-(* made every operation O(pending) and the whole backlog O(pending²).   *)
-(* Removal leaves a tombstone; compaction preserves arrival order.      *)
+(* post-selection removal are all O(1) — replacing the retired          *)
+(* [pool @ [req]] / [List.find] / [List.filter] pattern that made every *)
+(* operation O(pending) and the whole backlog O(pending²). Slot         *)
+(* liveness rides on the record's own [r_slot] back-pointer (a slot is  *)
+(* live iff its record points back at it), so there is no id → slot     *)
+(* hash table and the steady state allocates nothing: removal leaves a  *)
+(* tombstone, compaction preserves arrival order.                       *)
 (* ------------------------------------------------------------------ *)
 
 module Ipool = struct
   type t = {
-    mutable slots : request option array;
+    mutable slots : request array;
     mutable head : int;  (* first possibly-live slot *)
     mutable tail : int;  (* next free slot *)
     mutable live : int;
-    index : (int, int) Hashtbl.t;  (* r_id -> slot *)
   }
 
-  let create () = { slots = Array.make 16 None; head = 0; tail = 0; live = 0; index = Hashtbl.create 16 }
+  let create () = { slots = [||]; head = 0; tail = 0; live = 0 }
 
   let compact t =
     let j = ref 0 in
     for i = t.head to t.tail - 1 do
-      match t.slots.(i) with
-      | None -> ()
-      | Some r as slot ->
-          t.slots.(i) <- None;
-          t.slots.(!j) <- slot;
-          Hashtbl.replace t.index r.r_id !j;
-          incr j
+      let r = t.slots.(i) in
+      if r.r_slot = i then begin
+        t.slots.(!j) <- r;
+        r.r_slot <- !j;
+        incr j
+      end
     done;
     t.head <- 0;
     t.tail <- !j
 
   let add t r =
-    if t.tail = Array.length t.slots then
-      if t.live * 2 <= Array.length t.slots then compact t
+    let cap = Array.length t.slots in
+    if cap = 0 then t.slots <- Array.make 16 r
+    else if t.tail = cap then
+      if t.live * 2 <= cap then compact t
       else begin
-        let bigger = Array.make (2 * Array.length t.slots) None in
+        (* Slot 0 doubles as the filler: dead slots retain stale records
+           anyway, and the liveness test never consults them. *)
+        let bigger = Array.make (2 * cap) t.slots.(0) in
         Array.blit t.slots 0 bigger 0 t.tail;
         t.slots <- bigger
       end;
-    t.slots.(t.tail) <- Some r;
-    Hashtbl.replace t.index r.r_id t.tail;
+    t.slots.(t.tail) <- r;
+    r.r_slot <- t.tail;
     t.tail <- t.tail + 1;
     t.live <- t.live + 1
 
   let advance_head t =
-    while t.head < t.tail && t.slots.(t.head) = None do
+    while t.head < t.tail && t.slots.(t.head).r_slot <> t.head do
       t.head <- t.head + 1
     done
 
   let remove t r =
-    match Hashtbl.find_opt t.index r.r_id with
-    | None -> ()
-    | Some i ->
-        t.slots.(i) <- None;
-        Hashtbl.remove t.index r.r_id;
-        t.live <- t.live - 1;
-        advance_head t
+    let i = r.r_slot in
+    if i >= 0 && i < t.tail && t.slots.(i) == r then begin
+      r.r_slot <- -1;
+      t.live <- t.live - 1;
+      advance_head t
+    end
 
   (* Arrival-order iteration over live requests. *)
   let iter t f =
     for i = t.head to t.tail - 1 do
-      match t.slots.(i) with Some r -> f r | None -> ()
+      let r = t.slots.(i) in
+      if r.r_slot = i then f r
     done
 
-  (* One in-place sweep: each matching slot is unindexed and cleared as it
-     is visited — no mark pass, no intermediate list. [pred] may carry the
+  let first t =
+    advance_head t;
+    if t.head < t.tail then Some t.slots.(t.head) else None
+
+  (* One in-place sweep: each matching slot is tombstoned as it is
+     visited — no mark pass, no intermediate list. [pred] may carry the
      caller's side effects (cancellation marks, counters, aggregates). *)
   let remove_if t pred =
     for i = t.head to t.tail - 1 do
-      match t.slots.(i) with
-      | Some r when pred r ->
-          t.slots.(i) <- None;
-          Hashtbl.remove t.index r.r_id;
-          t.live <- t.live - 1
-      | _ -> ()
+      let r = t.slots.(i) in
+      if r.r_slot = i && pred r then begin
+        r.r_slot <- -1;
+        t.live <- t.live - 1
+      end
     done;
     advance_head t
 
@@ -108,56 +116,16 @@ let stats_of ~policy ~pending (c : counters) =
 (* Policies.                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* FCFS with lazy cancellation: kills mark [r_cancelled] and the stale
-   entries are discarded when they surface at the queue head. The live
-   count is tracked alongside (marks decrement it immediately), so
-   [pending] — read by every stats probe — is O(1) instead of a
-   whole-queue fold. *)
-let fifo () : arbiter =
-  (module struct
-    let policy = "fifo"
-    let q : request Queue.t = Queue.create ()
-    let c = counters ()
-    let live = ref 0
-
-    let enqueue r =
-      c.enq <- c.enq + 1;
-      incr live;
-      Queue.add r q
-
-    let cancel_of_inst inst =
-      Queue.iter
-        (fun r ->
-          if r.r_inst.idx = inst.idx && not r.r_cancelled then begin
-            r.r_cancelled <- true;
-            decr live;
-            c.cancelled <- c.cancelled + 1
-          end)
-        q
-
-    let select ~now:_ =
-      let rec pop () =
-        match Queue.take_opt q with
-        | None -> None
-        | Some r when r.r_cancelled -> pop ()
-        | Some r ->
-            c.granted <- c.granted + 1;
-            decr live;
-            Some r
-      in
-      pop ()
-
-    let pending () = !live
-    let stats () = stats_of ~policy ~pending:(pending ()) c
-  end)
-
-(* Shared scaffolding of the pool-scanning policies: eager withdrawal in
-   one in-place sweep, O(1) removal of the selection. [on_add]/[on_remove]
-   let a policy maintain derived state (the Least-Waste aggregates) in
-   lock-step with pool membership; every exit path — grant or
-   cancellation — funnels through [on_remove] exactly once. *)
-let pool_policy ~policy ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ()) ~choose () :
-    arbiter =
+(* Shared scaffolding of every policy: eager withdrawal in one in-place
+   sweep, O(1) removal of the selection. [on_add]/[on_remove] let a policy
+   maintain derived state (the Least-Waste aggregates) in lock-step with
+   pool membership; every exit path — grant or cancellation — funnels
+   through [on_remove] exactly once. Records withdrawn by cancellation are
+   released to [free] here; a granted record is still in the driver's
+   hands when [select] returns, so the driver releases it after the grant
+   dispatch (see {!try_grant}). *)
+let pool_policy ~policy ~free ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ())
+    ~choose () : arbiter =
   (module struct
     let policy = policy
     let pool = Ipool.create ()
@@ -174,6 +142,7 @@ let pool_policy ~policy ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ()) ~choo
             r.r_cancelled <- true;
             c.cancelled <- c.cancelled + 1;
             on_remove r;
+            release_request free r;
             true
           end
           else false)
@@ -190,6 +159,13 @@ let pool_policy ~policy ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ()) ~choo
     let pending () = Ipool.live pool
     let stats () = stats_of ~policy ~pending:(pending ()) c
   end)
+
+(* FCFS: the earliest live request wins. Cancellation is eager (the sweep
+   tombstones and releases the record at once) — lazy marking would leave
+   released records inside the queue, where the recycler could refill them
+   under the policy's feet. *)
+let fifo ?(free = req_free_create ()) () : arbiter =
+  pool_policy ~policy:"fifo" ~free ~choose:(fun pool ~now:_ -> Ipool.first pool) ()
 
 (* Section 3.4: grant to the candidate minimising the expected waste its
    service inflicts on everyone else. Equations (1)–(2) are affine in the
@@ -208,27 +184,22 @@ let pool_policy ~policy ?(on_add = fun _ -> ()) ?(on_remove = fun _ -> ()) ~choo
    without the token), so today only that term is populated, and with
    [levels = 1] the arithmetic is bit-identical to the single {!Aggregate}
    it generalizes. *)
-let least_waste ~node_mtbf_s ~bandwidth_gbs ?(levels = 1) () : arbiter =
-  let module Agg = Least_waste.Aggregate in
+let least_waste ~node_mtbf_s ~bandwidth_gbs ?(levels = 1)
+    ?(free = req_free_create ()) () : arbiter =
   let lv = Least_waste.Levels.create ~node_mtbf_s ~levels in
   let pfs_level = levels - 1 in
-  let entry_of r =
+  let on_add r =
     match r.r_kind with
     | Req_io _ ->
-        Agg.Io_entry
-          {
-            nodes = r.r_inst.spec.nodes;
-            service_s = r.r_volume /. bandwidth_gbs;
-            enqueued_at = r.r_at;
-          }
+        Least_waste.Levels.add_io lv ~key:r.r_id ~level:pfs_level
+          ~nodes:r.r_inst.spec.nodes
+          ~service_s:(r.r_volume /. bandwidth_gbs)
+          ~enqueued_at:r.r_at
     | Req_ckpt ->
-        Agg.Ckpt_entry
-          {
-            nodes = r.r_inst.spec.nodes;
-            ckpt_s = r.r_inst.ckpt_nominal;
-            recovery_s = r.r_inst.ckpt_nominal;
-            last_commit_end = r.r_inst.last_commit_end;
-          }
+        Least_waste.Levels.add_ckpt lv ~key:r.r_id ~level:pfs_level
+          ~nodes:r.r_inst.spec.nodes ~ckpt_s:r.r_inst.ckpt_nominal
+          ~recovery_s:r.r_inst.ckpt_nominal
+          ~last_commit_end:r.r_inst.last_commit_end
   in
   let choose pool ~now =
     let best = ref None in
@@ -242,8 +213,7 @@ let least_waste ~node_mtbf_s ~bandwidth_gbs ?(levels = 1) () : arbiter =
             best_w := w);
     !best
   in
-  pool_policy ~policy:"least-waste"
-    ~on_add:(fun r -> Least_waste.Levels.add lv ~key:r.r_id ~level:pfs_level (entry_of r))
+  pool_policy ~policy:"least-waste" ~free ~on_add
     ~on_remove:(fun r -> Least_waste.Levels.remove lv ~key:r.r_id)
     ~choose ()
 
@@ -251,7 +221,7 @@ let least_waste ~node_mtbf_s ~bandwidth_gbs ?(levels = 1) () : arbiter =
    exposure (time since the last commit for checkpoints, waiting time for
    blocking transfers) weighted by the job's width. One O(pending) scan per
    grant; ties break towards arrival order. *)
-let greedy_exposure () : arbiter =
+let greedy_exposure ?(free = req_free_create ()) () : arbiter =
   let score ~now r =
     let exposure =
       match r.r_kind with
@@ -272,28 +242,43 @@ let greedy_exposure () : arbiter =
             best_s := s);
     !best
   in
-  pool_policy ~policy:"greedy-exposure" ~choose ()
+  pool_policy ~policy:"greedy-exposure" ~free ~choose ()
 
-let of_strategy strategy ~node_mtbf_s ~bandwidth_gbs ?(levels = 1) () =
+let of_strategy strategy ~node_mtbf_s ~bandwidth_gbs ?(levels = 1)
+    ?(free = req_free_create ()) () =
   match (strategy : Strategy.t) with
-  | Least_waste -> least_waste ~node_mtbf_s ~bandwidth_gbs ~levels ()
-  | Greedy_exposure -> greedy_exposure ()
-  | Oblivious _ | Ordered _ | Ordered_nb _ | Baseline -> fifo ()
+  | Least_waste -> least_waste ~node_mtbf_s ~bandwidth_gbs ~levels ~free ()
+  | Greedy_exposure -> greedy_exposure ~free ()
+  | Oblivious _ | Ordered _ | Ordered_nb _ | Baseline -> fifo ~free ()
 
 (* ------------------------------------------------------------------ *)
 (* The token driver.                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let submit w inst kind volume =
+  let p = w.req_free in
   let req =
-    {
-      r_id = w.next_req;
-      r_inst = inst;
-      r_kind = kind;
-      r_volume = volume;
-      r_at = now w;
-      r_cancelled = false;
-    }
+    if p.rf_n > 0 then begin
+      p.rf_n <- p.rf_n - 1;
+      let r = p.rf.(p.rf_n) in
+      r.r_id <- w.next_req;
+      r.r_inst <- inst;
+      r.r_kind <- kind;
+      r.r_volume <- volume;
+      r.r_at <- now w;
+      r.r_cancelled <- false;
+      r
+    end
+    else
+      {
+        r_id = w.next_req;
+        r_inst = inst;
+        r_kind = kind;
+        r_volume = volume;
+        r_at = now w;
+        r_cancelled = false;
+        r_slot = -1;
+      }
   in
   w.next_req <- w.next_req + 1;
   let (module A) = w.arbiter in
@@ -326,5 +311,11 @@ let try_grant w =
         | None -> ());
         (match req.r_kind with
         | Req_io _ -> w.h_grant_io req
-        | Req_ckpt -> w.h_grant_ckpt req)
+        | Req_ckpt -> w.h_grant_ckpt req);
+        (* The grant continuations read the request synchronously and
+           retain nothing (grant_io closes over the volume float, not the
+           record), so the record recycles the moment dispatch returns.
+           Nested grants can't reach here first: [token_busy] is already
+           set. *)
+        release_request w.req_free req
   end

@@ -11,13 +11,24 @@ module type S = Sim_types.ARBITER
 (** The arbitration contract; see {!Sim_types.ARBITER} for the field
     documentation. *)
 
-val fifo : unit -> Sim_types.arbiter
-(** Arrival-order service with lazy cancellation: kills mark requests and
-    the marks are discarded at the queue head (the Ordered and Ordered-NB
-    strategies of Section 3.2–3.3). *)
+val fifo : ?free:Sim_types.req_free -> unit -> Sim_types.arbiter
+(** Arrival-order service with eager cancellation: kills tombstone the
+    victim's slots in one sweep (the Ordered and Ordered-NB strategies of
+    Section 3.2–3.3).
+
+    [free] (on every policy constructor) is the request-record recycling
+    stack cancellation releases into; {!of_strategy} threads the run's
+    stack so {!submit} can refill retired records. The default is a
+    private stack — callers driving a policy directly (tests, benches)
+    keep sole ownership of their records. *)
 
 val least_waste :
-  node_mtbf_s:float -> bandwidth_gbs:float -> ?levels:int -> unit -> Sim_types.arbiter
+  node_mtbf_s:float ->
+  bandwidth_gbs:float ->
+  ?levels:int ->
+  ?free:Sim_types.req_free ->
+  unit ->
+  Sim_types.arbiter
 (** The Section 3.4 heuristic: grant to the candidate minimising the
     expected waste inflicted on all other pending candidates. Backed by an
     id-indexed arrival-ordered pool — O(1) enqueue and removal — plus the
@@ -29,7 +40,7 @@ val least_waste :
     [levels = 1] is bit-identical to the single-aggregate formulation.
     Differentially tested against the list-based oracle {!Lw_reference}. *)
 
-val greedy_exposure : unit -> Sim_types.arbiter
+val greedy_exposure : ?free:Sim_types.req_free -> unit -> Sim_types.arbiter
 (** Grant to the request with the largest exposure × nodes product — the
     most node-seconds at risk of being lost to a failure. A cheap
     O(pending) contrast to {!least_waste}; not part of the paper's seven. *)
@@ -39,15 +50,20 @@ val of_strategy :
   node_mtbf_s:float ->
   bandwidth_gbs:float ->
   ?levels:int ->
+  ?free:Sim_types.req_free ->
   unit ->
   Sim_types.arbiter
 (** The policy a strategy mandates (token-less strategies get an inert
     {!fifo} they never enqueue into). [levels] is the storage-hierarchy
-    depth for {!least_waste}, PFS included (default 1 = PFS only). *)
+    depth for {!least_waste}, PFS included (default 1 = PFS only);
+    [free] should be the run's [w.req_free] so retired records recycle
+    through {!submit}. *)
 
 val submit : Sim_types.w -> Sim_types.inst -> Sim_types.rkind -> float -> unit
-(** Create a request (fresh id, stamped with the current time) for
-    [volume] gigabytes and hand it to the run's policy. *)
+(** Hand a request (fresh id, stamped with the current time) for [volume]
+    gigabytes to the run's policy, refilling a recycled record from
+    [w.req_free] when one is available — the steady state allocates no
+    request records at all. *)
 
 val cancel_requests_of : Sim_types.w -> Sim_types.inst -> unit
 (** Withdraw every pending request of an instance (on kill or completion);

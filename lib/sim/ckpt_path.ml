@@ -128,7 +128,7 @@ and try_hier_ckpt w h inst =
 and on_ckpt_done w inst =
   release_token w inst;
   inst.committed <- inst.ckpt_content;
-  emit_inst w inst (Trace.Ckpt_committed { work = inst.ckpt_content });
+  if tracing w then emit_inst w inst (Trace.Ckpt_committed { work = inst.ckpt_content });
   (* A global commit also refreshes every snapshot level's capture point:
      anything a snapshot would roll back to is at least this safe. *)
   for k = 0 to Array.length w.snap - 1 do

@@ -3,8 +3,10 @@ module Engine = Cocheck_des.Engine
 module Jobgen = Cocheck_model.Jobgen
 module Io = Io_subsystem
 module Rng = Cocheck_util.Rng
+module Interval_ledger = Cocheck_util.Interval_ledger
 
 let kill_inst w inst =
+
   let t = now w in
   (match inst.activity with
   | Doing_io (sub, flow, kind) ->
@@ -25,7 +27,9 @@ let kill_inst w inst =
   cancel_local_events w inst;
   cancel_ckpt_request_ev w inst;
   cancel_work_done_ev w inst;
+
   Arbiter.cancel_requests_of w inst;
+
   let nsnap = Array.length w.snap in
   (* One uniform severity draw classifies the failure against every
      storage level at once: snapshot level k survives when
@@ -45,34 +49,34 @@ let kill_inst w inst =
     find 0
   in
   let soft = soft_level <> None in
-  let lost, kept =
+  (* Work captured by the newest surviving snapshot survives the failure;
+     everything ending after [safe] is lost. A hard failure keeps [safe] at
+     −∞, losing the whole ledger. *)
+  let safe =
     if soft then begin
-      (* Work captured by the newest surviving snapshot survives the
-         failure. *)
       let safe = ref neg_infinity in
       for k = 0 to nsnap - 1 do
         if u < w.snap.(k).Config.sl_survival && inst.local_safe_time.(k) > !safe then
           safe := inst.local_safe_time.(k)
       done;
-      let safe = !safe in
-      List.partition (fun (_, t1) -> t1 > safe) inst.uncommitted
+      !safe
     end
-    else (inst.uncommitted, [])
+    else neg_infinity
   in
   let ci = inst.spec.Jobgen.class_index in
-  let lost_s = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost in
+  let lost_s = Interval_ledger.lost_above inst.uncommitted ~safe in
   w.restarts_by_class.(ci) <- w.restarts_by_class.(ci) + 1;
   w.lost_ns_by_class.(ci) <-
     w.lost_ns_by_class.(ci) +. (float_of_int inst.spec.Jobgen.nodes *. lost_s);
   (match w.hooks with Some h -> h.on_lost_work lost_s | None -> ());
-  emit_inst w inst (Trace.Job_killed { lost_work = lost_s });
-  inst.uncommitted <- lost;
-  flush_uncommitted w inst Metrics.Lost_work;
-  inst.uncommitted <- kept;
-  flush_uncommitted w inst Metrics.Work;
+  if tracing w then emit_inst w inst (Trace.Job_killed { lost_work = lost_s });
+
+  flush_partition w inst ~safe;
   Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:t ~nodes:inst.spec.Jobgen.nodes;
+
   Node_pool.release w.pool inst.nodes;
   Hashtbl.remove w.insts inst.idx;
+
   let local_best =
     (* The most work any surviving snapshot level captured. *)
     let best = ref 0.0 in
@@ -107,20 +111,25 @@ let kill_inst w inst =
       e_restarts = inst.restarts + 1;
     }
     :: w.queue;
+  (* All events cancelled, flows aborted, requests withdrawn, and the
+     requeue entry copied out: the record can host the next start — often
+     the restart [try_start] is about to launch on the just-freed nodes. *)
+  release_inst w.inst_free inst;
+
   Lifecycle.try_start w;
   if w.uses_token then Arbiter.try_grant w
 
 let handle_failure w (e : Failure_trace.event) =
   w.failures_seen <- w.failures_seen + 1;
-  let victim =
-    Option.bind (Node_pool.owner w.pool e.node) (fun idx -> Hashtbl.find_opt w.insts idx)
-  in
+  let idx = Node_pool.owner_idx w.pool e.node in
+  let victim = if idx < 0 then None else Hashtbl.find_opt w.insts idx in
   (* Record the victim with the failure itself so traces can correlate a
      kill with its cause; -1/-1 marks a failure striking an idle node. *)
-  (match victim with
-  | Some inst ->
-      emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node })
-  | None -> emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node }));
+  (if tracing w then
+     match victim with
+     | Some inst ->
+         emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node })
+     | None -> emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node }));
   match victim with
   | None -> ()
   | Some inst ->

@@ -32,7 +32,15 @@
    a span is [nodes * moved / (B * span)] — recoverable from the virtual
    clock alone. The only wrinkle is the measurement segment: a lazy span
    crossing a segment edge needs [V] at the edge, so the subsystem records
-   the virtual clock when wall time first crosses each edge. *)
+   the virtual clock when wall time first crosses each edge.
+
+   Flow state lives in a slot pool of parallel arrays behind a freelist
+   (the Pqueue layout): a flow is a generation-tagged immediate handle,
+   float fields sit in flat [float array]s so stores stay unboxed, and the
+   start/complete/abort cycle reuses slots instead of allocating a record
+   and a hashtable entry per transfer. Mutable float scalars of the
+   subsystem itself live in one flat array ([s]) for the same reason —
+   without flambda a [mutable float] store on a mixed record boxes. *)
 
 module Engine = Cocheck_des.Engine
 module Pqueue = Cocheck_util.Pqueue
@@ -47,127 +55,219 @@ let io_kind_name = function
   | Recovery -> "recovery"
   | Drain -> "drain"
 
-type flow = {
-  id : int;
-  job : int;
-  nodes : int;
-  kind : io_kind;
-  volume_gb : float;
-  weight : float;  (* virtual-progress multiplier: nodes, or 1 unshared *)
-  v_start : float;  (* virtual clock at admission *)
-  v_done : float;  (* virtual completion deadline: v_start + volume/weight *)
-  mutable t_emit : float;  (* wall time up to which metrics are emitted *)
-  mutable v_emit : float;  (* virtual clock at t_emit *)
-  mutable committed_gb : float;  (* volume already credited to the total *)
-  mutable live : bool;
-  mutable in_set : bool;  (* member of the shared pool (zero-volume: no) *)
-  mutable heap_h : flow Pqueue.handle;  (* Pqueue.null_handle when absent *)
-  mutable zv_ev : Engine.handle;  (* zero-volume immediate event; Engine.none when absent *)
-  on_complete : unit -> unit;
-}
+type flow = int
+(* slot in the low bits, the slot's generation above: a handle outlives its
+   flow harmlessly (stale generation -> no-op), and storing one allocates
+   nothing. *)
+
+let slot_bits = 20
+let slot_mask = (1 lsl slot_bits) - 1
+
+(* Slot states. *)
+let st_free = 0
+let st_zero = 1 (* live zero-volume flow, immediate completion pending *)
+let st_pool = 2 (* live member of the shared pool *)
+
+(* Indices into [t.s]. *)
+let s_vclock = 0 (* V at t_last *)
+let s_t_last = 1
+let s_weight = 2 (* total weight of pool members *)
+let s_committed = 3 (* volume credited to the transferred total *)
+let s_v_seg_lo = 4 (* V when wall time crossed seg_lo (if crossed) *)
+let s_v_seg_hi = 5
 
 type t = {
   engine : Engine.t;
   metrics : Metrics.t;
   bandwidth : float;
   sharing : sharing;
-  flows : (int, flow) Hashtbl.t;  (* live pool members by id *)
-  heap : flow Pqueue.t;  (* min virtual completion deadline *)
-  mutable next_id : int;
-  mutable transferred_committed : float;
-  mutable vclock : float;  (* V at t_last *)
-  mutable t_last : float;
-  mutable total_weight : float;
+  heap : int Pqueue.t;  (* pool slots keyed by virtual completion deadline *)
+  s : float array;  (* mutable float scalars, unboxed; s_* indices *)
   mutable nflows : int;
   mutable next_ev : Engine.handle;  (* THE completion event; Engine.none when absent *)
   mutable cb_completion : Engine.t -> unit;  (* recycled completion callback *)
   seg_lo : float;  (* measurement segment, cached from the ledger *)
   seg_hi : float;
-  mutable v_seg_lo : float option;  (* V when wall time crossed seg_lo *)
-  mutable v_seg_hi : float option;
+  mutable seg_lo_crossed : bool;  (* whether s_v_seg_lo holds a value *)
+  mutable seg_hi_crossed : bool;
+  (* Per-slot flow state. *)
+  mutable cap : int;
+  mutable f_gen : int array;
+  mutable f_state : int array;
+  mutable f_job : int array;
+  mutable f_nodes : int array;
+  mutable f_kind : io_kind array;
+  mutable f_heap_h : int Pqueue.handle array;  (* null_handle when absent *)
+  mutable f_zv_ev : Engine.handle array;  (* zero-volume event; none when absent *)
+  mutable f_on_complete : (unit -> unit) array;
+  mutable f_zv_cb : (Engine.t -> unit) array;  (* recycled per-slot zero-volume callback *)
+  mutable f_volume : float array;
+  mutable f_weight : float array;  (* virtual-progress multiplier: nodes, or 1 unshared *)
+  mutable f_v_start : float array;  (* virtual clock at admission *)
+  mutable f_v_done : float array;  (* v_start + volume/weight *)
+  mutable f_t_emit : float array;  (* wall time up to which metrics are emitted *)
+  mutable f_v_emit : float array;  (* virtual clock at t_emit *)
+  mutable f_committed : float array;  (* volume already credited to the total *)
+  mutable free_slots : int array;  (* freelist stack *)
+  mutable free_n : int;
 }
+
+let nop () = ()
+
+let[@inline] slot_of t h =
+  let i = h land slot_mask in
+  if i < t.cap && t.f_gen.(i) = h asr slot_bits then i else -1
+
+let free_slot t i =
+  t.f_state.(i) <- st_free;
+  t.f_gen.(i) <- t.f_gen.(i) + 1;
+  t.f_on_complete.(i) <- nop;
+  t.f_heap_h.(i) <- Pqueue.null_handle;
+  t.f_zv_ev.(i) <- Engine.none;
+  t.free_slots.(t.free_n) <- i;
+  t.free_n <- t.free_n + 1
+
+(* The recycled zero-volume completion: completes through the calendar so
+   observers see a consistent order; built once per slot, not per flow. *)
+let zv_fire t i _engine =
+  t.f_zv_ev.(i) <- Engine.none;
+  if t.f_state.(i) = st_zero then begin
+    let k = t.f_on_complete.(i) in
+    free_slot t i;
+    k ()
+  end
+
+let grow_array a cap fill =
+  let b = Array.make cap fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let init_slots t ~from =
+  for i = t.cap - 1 downto from do
+    t.f_zv_cb.(i) <- zv_fire t i;
+    t.free_slots.(t.free_n) <- i;
+    t.free_n <- t.free_n + 1
+  done
+
+let grow t =
+  let old = t.cap in
+  let cap = 2 * old in
+  if cap > slot_mask + 1 then invalid_arg "Io_subsystem: too many concurrent flows";
+  t.f_gen <- grow_array t.f_gen cap 0;
+  t.f_state <- grow_array t.f_state cap st_free;
+  t.f_job <- grow_array t.f_job cap 0;
+  t.f_nodes <- grow_array t.f_nodes cap 0;
+  t.f_kind <- grow_array t.f_kind cap Input;
+  t.f_heap_h <- grow_array t.f_heap_h cap Pqueue.null_handle;
+  t.f_zv_ev <- grow_array t.f_zv_ev cap Engine.none;
+  t.f_on_complete <- grow_array t.f_on_complete cap nop;
+  t.f_zv_cb <- grow_array t.f_zv_cb cap ignore;
+  t.f_volume <- grow_array t.f_volume cap 0.0;
+  t.f_weight <- grow_array t.f_weight cap 0.0;
+  t.f_v_start <- grow_array t.f_v_start cap 0.0;
+  t.f_v_done <- grow_array t.f_v_done cap 0.0;
+  t.f_t_emit <- grow_array t.f_t_emit cap 0.0;
+  t.f_v_emit <- grow_array t.f_v_emit cap 0.0;
+  t.f_committed <- grow_array t.f_committed cap 0.0;
+  t.free_slots <- grow_array t.free_slots cap 0;
+  t.cap <- cap;
+  init_slots t ~from:old
+
+let alloc_slot t =
+  if t.free_n = 0 then grow t;
+  t.free_n <- t.free_n - 1;
+  t.free_slots.(t.free_n)
 
 let slope t =
   match t.sharing with
   | `Unshared -> t.bandwidth
-  | `Linear -> if t.total_weight > 0.0 then t.bandwidth /. t.total_weight else 0.0
+  | `Linear -> if t.s.(s_weight) > 0.0 then t.bandwidth /. t.s.(s_weight) else 0.0
   | `Degraded alpha ->
-      if t.total_weight > 0.0 then
+      if t.s.(s_weight) > 0.0 then
         let k = float_of_int t.nflows in
-        t.bandwidth /. ((1.0 +. (alpha *. Float.max 0.0 (k -. 1.0))) *. t.total_weight)
+        t.bandwidth /. ((1.0 +. (alpha *. Float.max 0.0 (k -. 1.0))) *. t.s.(s_weight))
       else 0.0
 
 (* Bring the virtual clock to the engine's current time. Must run before
    any membership change, while the old slope is still in force. *)
 let advance t =
   let now = Engine.now t.engine in
-  if now > t.t_last then begin
-    let s = slope t in
-    if t.v_seg_lo = None && now >= t.seg_lo then
-      t.v_seg_lo <- Some (t.vclock +. ((t.seg_lo -. t.t_last) *. s));
-    if t.v_seg_hi = None && now >= t.seg_hi then
-      t.v_seg_hi <- Some (t.vclock +. ((t.seg_hi -. t.t_last) *. s));
-    t.vclock <- t.vclock +. ((now -. t.t_last) *. s);
-    t.t_last <- now
+  if now > t.s.(s_t_last) then begin
+    let sl = slope t in
+    if (not t.seg_lo_crossed) && now >= t.seg_lo then begin
+      t.seg_lo_crossed <- true;
+      t.s.(s_v_seg_lo) <- t.s.(s_vclock) +. ((t.seg_lo -. t.s.(s_t_last)) *. sl)
+    end;
+    if (not t.seg_hi_crossed) && now >= t.seg_hi then begin
+      t.seg_hi_crossed <- true;
+      t.s.(s_v_seg_hi) <- t.s.(s_vclock) +. ((t.seg_hi -. t.s.(s_t_last)) *. sl)
+    end;
+    t.s.(s_vclock) <- t.s.(s_vclock) +. ((now -. t.s.(s_t_last)) *. sl);
+    t.s.(s_t_last) <- now
   end
 
 (* Ledger entry for a regular transfer over the unemitted span, clipped to
    the segment. The progress fraction is the flow's mean achieved rate over
    the clipped span relative to nominal bandwidth, read off the virtual
    clock; the clamp absorbs float residue on very short spans. *)
-let emit_weighted t f ~now =
-  let a = Float.max f.t_emit t.seg_lo and b = Float.min now t.seg_hi in
+let emit_weighted t i ~now =
+  let a = Float.max t.f_t_emit.(i) t.seg_lo and b = Float.min now t.seg_hi in
   if b > a then begin
     let va =
-      if f.t_emit >= t.seg_lo then f.v_emit
-      else Option.value t.v_seg_lo ~default:f.v_emit
+      if t.f_t_emit.(i) >= t.seg_lo then t.f_v_emit.(i)
+      else if t.seg_lo_crossed then t.s.(s_v_seg_lo)
+      else t.f_v_emit.(i)
     in
     let vb =
-      if now <= t.seg_hi then t.vclock else Option.value t.v_seg_hi ~default:t.vclock
+      if now <= t.seg_hi then t.s.(s_vclock)
+      else if t.seg_hi_crossed then t.s.(s_v_seg_hi)
+      else t.s.(s_vclock)
     in
-    let fraction = f.weight *. (vb -. va) /. (t.bandwidth *. (b -. a)) in
+    let fraction = t.f_weight.(i) *. (vb -. va) /. (t.bandwidth *. (b -. a)) in
     let fraction = Float.min 1.0 (Float.max 0.0 fraction) in
-    Metrics.record_weighted t.metrics ~t0:a ~t1:b ~nodes:f.nodes ~fraction
+    Metrics.record_weighted t.metrics ~t0:a ~t1:b ~nodes:t.f_nodes.(i) ~fraction
       ~progress:Metrics.Regular_io ~waste:Metrics.Io_dilation
   end
 
 (* Emit the pending ledger span and credit moved volume; requires [advance]
    to have run, so the clock pair (t_last, vclock) is current. *)
-let settle_flow t f =
-  let now = t.t_last in
-  if now > f.t_emit then begin
-    (match f.kind with
-    | Input | Output -> emit_weighted t f ~now
-    | Ckpt -> Metrics.record t.metrics ~t0:f.t_emit ~t1:now ~nodes:f.nodes Metrics.Ckpt_io
+let settle_flow t i =
+  let now = t.s.(s_t_last) in
+  if now > t.f_t_emit.(i) then begin
+    (match t.f_kind.(i) with
+    | Input | Output -> emit_weighted t i ~now
+    | Ckpt ->
+        Metrics.record t.metrics ~t0:t.f_t_emit.(i) ~t1:now ~nodes:t.f_nodes.(i)
+          Metrics.Ckpt_io
     | Recovery ->
-        Metrics.record t.metrics ~t0:f.t_emit ~t1:now ~nodes:f.nodes Metrics.Recovery_io
+        Metrics.record t.metrics ~t0:t.f_t_emit.(i) ~t1:now ~nodes:t.f_nodes.(i)
+          Metrics.Recovery_io
     | Drain -> () (* background traffic: no compute nodes are held *));
-    f.t_emit <- now;
-    f.v_emit <- t.vclock
+    t.f_t_emit.(i) <- now;
+    t.f_v_emit.(i) <- t.s.(s_vclock)
   end;
-  let moved = Float.min f.volume_gb (f.weight *. (t.vclock -. f.v_start)) in
-  if moved > f.committed_gb then begin
-    t.transferred_committed <- t.transferred_committed +. (moved -. f.committed_gb);
-    f.committed_gb <- moved
+  let moved =
+    Float.min t.f_volume.(i) (t.f_weight.(i) *. (t.s.(s_vclock) -. t.f_v_start.(i)))
+  in
+  if moved > t.f_committed.(i) then begin
+    t.s.(s_committed) <- t.s.(s_committed) +. (moved -. t.f_committed.(i));
+    t.f_committed.(i) <- moved
   end
 
-let commit_full t f =
-  if f.volume_gb > f.committed_gb then begin
-    t.transferred_committed <- t.transferred_committed +. (f.volume_gb -. f.committed_gb);
-    f.committed_gb <- f.volume_gb
+let commit_full t i =
+  if t.f_volume.(i) > t.f_committed.(i) then begin
+    t.s.(s_committed) <- t.s.(s_committed) +. (t.f_volume.(i) -. t.f_committed.(i));
+    t.f_committed.(i) <- t.f_volume.(i)
   end
 
-let drop t f =
-  f.live <- false;
-  f.in_set <- false;
-  if not (Pqueue.is_null f.heap_h) then begin
-    ignore (Pqueue.remove t.heap f.heap_h);
-    f.heap_h <- Pqueue.null_handle
+let drop t i =
+  if not (Pqueue.is_null t.f_heap_h.(i)) then begin
+    ignore (Pqueue.remove t.heap t.f_heap_h.(i));
+    t.f_heap_h.(i) <- Pqueue.null_handle
   end;
-  Hashtbl.remove t.flows f.id;
-  t.total_weight <- t.total_weight -. f.weight;
+  t.s.(s_weight) <- t.s.(s_weight) -. t.f_weight.(i);
   t.nflows <- t.nflows - 1;
-  if t.nflows = 0 then t.total_weight <- 0.0
+  if t.nflows = 0 then t.s.(s_weight) <- 0.0
 
 (* Retime the single completion event to the heap minimum. Simultaneous
    completions resolve as a cascade of zero-delay events, preserving the
@@ -183,13 +283,11 @@ let rec reschedule_next t =
   end
   else begin
     let v_min = Pqueue.min_priority t.heap in
-    let time = t.t_last +. (Float.max 0.0 (v_min -. t.vclock) /. slope t) in
+    let time = t.s.(s_t_last) +. (Float.max 0.0 (v_min -. t.s.(s_vclock)) /. slope t) in
     let retimed =
       (not (Engine.is_none t.next_ev))
-      &&
-      match Engine.time_of t.engine t.next_ev with
-      | Some tm when tm = time -> true
-      | Some _ | None -> Engine.reschedule t.engine t.next_ev ~time
+      && (Engine.time_is t.engine t.next_ev ~time
+         || Engine.reschedule t.engine t.next_ev ~time)
     in
     if not retimed then
       t.next_ev <- Engine.schedule_at t.engine ~kind:Ev_kind.io ~time t.cb_completion
@@ -199,82 +297,89 @@ and on_next_completion t _engine =
   t.next_ev <- Engine.none;
   advance t;
   if not (Pqueue.is_empty t.heap) then begin
-    let f = Pqueue.min_value t.heap in
+    let i = Pqueue.min_value t.heap in
     Pqueue.drop_min t.heap;
-    f.heap_h <- Pqueue.null_handle;
-    settle_flow t f;
-    commit_full t f;
-    drop t f;
+    t.f_heap_h.(i) <- Pqueue.null_handle;
+    settle_flow t i;
+    commit_full t i;
+    drop t i;
     reschedule_next t;
-    f.on_complete ()
+    let k = t.f_on_complete.(i) in
+    free_slot t i;
+    k ()
   end
 
 let create ~engine ~metrics ~bandwidth_gbs ~sharing =
   if bandwidth_gbs <= 0.0 then invalid_arg "Io_subsystem.create: bandwidth must be positive";
   let seg_lo, seg_hi = Metrics.segment metrics in
   let now = Engine.now engine in
+  let cap = 16 in
+  let s = Array.make 6 0.0 in
+  s.(s_t_last) <- now;
   let t =
     {
       engine;
       metrics;
       bandwidth = bandwidth_gbs;
       sharing;
-      flows = Hashtbl.create 64;
       heap = Pqueue.create ();
-      next_id = 0;
-      transferred_committed = 0.0;
-      vclock = 0.0;
-      t_last = now;
-      total_weight = 0.0;
+      s;
       nflows = 0;
       next_ev = Engine.none;
       cb_completion = ignore;
       seg_lo;
       seg_hi;
-      v_seg_lo = (if now >= seg_lo then Some 0.0 else None);
-      v_seg_hi = (if now >= seg_hi then Some 0.0 else None);
+      seg_lo_crossed = now >= seg_lo;
+      seg_hi_crossed = now >= seg_hi;
+      cap;
+      f_gen = Array.make cap 0;
+      f_state = Array.make cap st_free;
+      f_job = Array.make cap 0;
+      f_nodes = Array.make cap 0;
+      f_kind = Array.make cap Input;
+      f_heap_h = Array.make cap Pqueue.null_handle;
+      f_zv_ev = Array.make cap Engine.none;
+      f_on_complete = Array.make cap nop;
+      f_zv_cb = Array.make cap ignore;
+      f_volume = Array.make cap 0.0;
+      f_weight = Array.make cap 0.0;
+      f_v_start = Array.make cap 0.0;
+      f_v_done = Array.make cap 0.0;
+      f_t_emit = Array.make cap 0.0;
+      f_v_emit = Array.make cap 0.0;
+      f_committed = Array.make cap 0.0;
+      free_slots = Array.make cap 0;
+      free_n = 0;
     }
   in
   t.cb_completion <- on_next_completion t;
+  init_slots t ~from:0;
   t
 
 let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
   if nodes <= 0 then invalid_arg "Io_subsystem.start_flow: non-positive node count";
   if volume_gb < 0.0 then invalid_arg "Io_subsystem.start_flow: negative volume";
   let now = Engine.now t.engine in
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  let i = alloc_slot t in
+  let h = i lor (t.f_gen.(i) lsl slot_bits) in
+  t.f_job.(i) <- job;
+  t.f_nodes.(i) <- nodes;
+  t.f_kind.(i) <- kind;
+  t.f_on_complete.(i) <- on_complete;
+  t.f_volume.(i) <- volume_gb;
+  t.f_committed.(i) <- 0.0;
+  t.f_t_emit.(i) <- now;
   if volume_gb = 0.0 then begin
-    (* Complete through the calendar so observers see a consistent order;
-       the flow never joins the shared pool. *)
-    let f =
-      {
-        id;
-        job;
-        nodes;
-        kind;
-        volume_gb;
-        weight = 0.0;
-        v_start = 0.0;
-        v_done = 0.0;
-        t_emit = now;
-        v_emit = 0.0;
-        committed_gb = 0.0;
-        live = true;
-        in_set = false;
-        heap_h = Pqueue.null_handle;
-        zv_ev = Engine.none;
-        on_complete;
-      }
-    in
-    f.zv_ev <-
-      Engine.schedule_after t.engine ~kind:Ev_kind.io ~delay:0.0 (fun _ ->
-          f.zv_ev <- Engine.none;
-          if f.live then begin
-            f.live <- false;
-            f.on_complete ()
-          end);
-    f
+    (* The flow never joins the shared pool; it completes through the
+       recycled per-slot immediate event (which a kill can still abort). *)
+    t.f_state.(i) <- st_zero;
+    t.f_weight.(i) <- 0.0;
+    t.f_v_start.(i) <- 0.0;
+    t.f_v_done.(i) <- 0.0;
+    t.f_v_emit.(i) <- 0.0;
+    t.f_zv_ev.(i) <-
+      Engine.schedule_after t.engine ~kind:Ev_kind.io ~delay:0.0 t.f_zv_cb.(i);
+    h
   end
   else begin
     advance t;
@@ -283,53 +388,39 @@ let start_flow t ~job ~nodes ~kind ~volume_gb ~on_complete =
       | `Unshared -> 1.0
       | `Linear | `Degraded _ -> float_of_int nodes
     in
-    let f =
-      {
-        id;
-        job;
-        nodes;
-        kind;
-        volume_gb;
-        weight;
-        v_start = t.vclock;
-        v_done = t.vclock +. (volume_gb /. weight);
-        t_emit = now;
-        v_emit = t.vclock;
-        committed_gb = 0.0;
-        live = true;
-        in_set = true;
-        heap_h = Pqueue.null_handle;
-        zv_ev = Engine.none;
-        on_complete;
-      }
-    in
-    Hashtbl.replace t.flows id f;
-    t.total_weight <- t.total_weight +. weight;
+    t.f_state.(i) <- st_pool;
+    t.f_weight.(i) <- weight;
+    let v = t.s.(s_vclock) in
+    t.f_v_start.(i) <- v;
+    t.f_v_done.(i) <- v +. (volume_gb /. weight);
+    t.f_v_emit.(i) <- v;
+    t.s.(s_weight) <- t.s.(s_weight) +. weight;
     t.nflows <- t.nflows + 1;
-    f.heap_h <- Pqueue.add t.heap ~priority:f.v_done f;
+    t.f_heap_h.(i) <- Pqueue.add t.heap ~priority:t.f_v_done.(i) i;
     reschedule_next t;
-    f
+    h
   end
 
-let abort_flow t f =
-  if f.live then
-    if f.in_set then begin
+let abort_flow t h =
+  let i = slot_of t h in
+  if i >= 0 then
+    if t.f_state.(i) = st_pool then begin
       advance t;
-      settle_flow t f;
-      drop t f;
-      reschedule_next t
+      settle_flow t i;
+      drop t i;
+      reschedule_next t;
+      free_slot t i
     end
-    else begin
-      if not (Engine.is_none f.zv_ev) then begin
-        ignore (Engine.cancel t.engine f.zv_ev);
-        f.zv_ev <- Engine.none
-      end;
-      f.live <- false
+    else if t.f_state.(i) = st_zero then begin
+      ignore (Engine.cancel t.engine t.f_zv_ev.(i));
+      free_slot t i
     end
 
 let sync t =
   advance t;
-  Hashtbl.iter (fun _ f -> settle_flow t f) t.flows
+  for i = 0 to t.cap - 1 do
+    if t.f_state.(i) = st_pool then settle_flow t i
+  done
 
 let active_count t = t.nflows
 
@@ -343,25 +434,36 @@ let current_rate_gbs t =
     | `Unshared -> t.bandwidth *. float_of_int t.nflows
 
 let bandwidth_gbs t = t.bandwidth
-let active_rate t f = if f.live && f.in_set then Some (f.weight *. slope t) else None
+
+let active_rate t h =
+  let i = slot_of t h in
+  if i >= 0 && t.f_state.(i) = st_pool then Some (t.f_weight.(i) *. slope t) else None
 
 (* Virtual clock extrapolated to the present without mutating state: the
    slope is constant since the last membership change. *)
-let vnow t = t.vclock +. ((Engine.now t.engine -. t.t_last) *. slope t)
+let vnow t = t.s.(s_vclock) +. ((Engine.now t.engine -. t.s.(s_t_last)) *. slope t)
 
-let remaining_gb t f =
-  if not f.live then None
-  else if not f.in_set then Some 0.0
-  else Some (Float.max 0.0 (f.volume_gb -. (f.weight *. (vnow t -. f.v_start))))
+let remaining_gb t h =
+  let i = slot_of t h in
+  if i < 0 then None
+  else if t.f_state.(i) <> st_pool then Some 0.0
+  else Some (Float.max 0.0 (t.f_volume.(i) -. (t.f_weight.(i) *. (vnow t -. t.f_v_start.(i)))))
 
-let flow_job f = f.job
-let flow_kind f = f.kind
-let flow_id f = f.id
+let live_slot name t h =
+  let i = slot_of t h in
+  if i < 0 then invalid_arg ("Io_subsystem." ^ name ^ ": flow is gone") else i
+
+let flow_job t h = t.f_job.(live_slot "flow_job" t h)
+let flow_kind t h = t.f_kind.(live_slot "flow_kind" t h)
+let flow_id (h : flow) = h
 
 let transferred_gb t =
   let v = vnow t in
-  Hashtbl.fold
-    (fun _ f acc ->
-      let moved = Float.min f.volume_gb (f.weight *. (v -. f.v_start)) in
-      acc +. Float.max 0.0 (moved -. f.committed_gb))
-    t.flows t.transferred_committed
+  let acc = ref t.s.(s_committed) in
+  for i = 0 to t.cap - 1 do
+    if t.f_state.(i) = st_pool then begin
+      let moved = Float.min t.f_volume.(i) (t.f_weight.(i) *. (v -. t.f_v_start.(i))) in
+      acc := !acc +. Float.max 0.0 (moved -. t.f_committed.(i))
+    end
+  done;
+  !acc

@@ -29,7 +29,13 @@
     {e single} calendar event that tracks the heap minimum. Ledger entries
     settle lazily, at flow completion/abort or an explicit {!sync}; ledger
     totals match the eager full-rescan reference ({!Io_reference}) within
-    float tolerance, enforced by a differential test. *)
+    float tolerance, enforced by a differential test.
+
+    Flow state lives in a pooled struct-of-arrays layout: a {!flow} is a
+    generation-tagged immediate handle (like {!Cocheck_util.Pqueue}
+    handles), so the start/complete/abort cycle reuses slots and allocates
+    nothing, and a handle held past its flow's end is detected rather than
+    aliasing the slot's next tenant. *)
 
 type sharing = [ `Linear | `Degraded of float | `Unshared ]
 
@@ -83,13 +89,17 @@ val bandwidth_gbs : t -> float
 val remaining_gb : t -> flow -> float option
 (** Volume left on a live flow as of the current simulation time. *)
 
-val flow_job : flow -> int
-val flow_kind : flow -> io_kind
+val flow_job : t -> flow -> int
+(** Owning job of a live flow; raises [Invalid_argument] on a stale
+    handle. *)
+
+val flow_kind : t -> flow -> io_kind
+(** Kind of a live flow; raises [Invalid_argument] on a stale handle. *)
 
 val flow_id : flow -> int
-(** Subsystem-unique id, assigned at [start_flow] in arrival order. Stable
-    key for external per-flow tables (e.g. the burst buffer's in-flight
-    index). *)
+(** The handle as an integer key: unique among live flows and never reused
+    for a slot's next tenant (the generation tag differs). Stable key for
+    external per-flow tables (e.g. the burst buffer's in-flight index). *)
 
 val sync : t -> unit
 (** Force pending ledger entries out to {!Metrics} for every live flow, up

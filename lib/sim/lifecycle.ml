@@ -2,77 +2,148 @@ open Sim_types
 module Engine = Cocheck_des.Engine
 module Jobgen = Cocheck_model.Jobgen
 module Io = Io_subsystem
+module Interval_ledger = Cocheck_util.Interval_ledger
 
 let rec try_start w =
   (* Greedy first-fit over the priority-ordered queue: start every entry
      that fits in the currently free nodes. Explicit recursion fixes the
-     left-to-right evaluation the allocation side effects rely on. *)
-  let rec go acc = function
-    | [] -> List.rev acc
-    | entry :: rest -> (
-        match
-          Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes
-        with
-        | None -> go (entry :: acc) rest
-        | Some nodes ->
-            start_instance w entry nodes;
-            go acc rest)
-  in
-  w.queue <- go [] w.queue
+     left-to-right evaluation the allocation side effects rely on.
+
+     [alloc] succeeds exactly when the count fits the free total (grants
+     need not be contiguous), which licenses two allocation-free fast
+     paths: the startable head prefix is consumed by popping — the common
+     shape after a kill, where the requeued head restarts on the nodes it
+     just released — and the tail is rebuilt cons by cons only when a
+     side-effect-free scan finds a deeper entry that fits. *)
+  match w.queue with
+  | entry :: rest when entry.e_spec.Jobgen.nodes <= Node_pool.free_count w.pool -> (
+      match Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes with
+      | None -> assert false
+      | Some nodes ->
+          w.queue <- rest;
+          start_instance w entry nodes;
+          try_start w)
+  | [] | _ :: _ ->
+      let rec fits free = function
+        | [] -> false
+        | entry :: rest -> entry.e_spec.Jobgen.nodes <= free || fits free rest
+      in
+      let backfill = match w.queue with [] -> false | _ :: rest -> fits (Node_pool.free_count w.pool) rest in
+      if backfill then begin
+        let rec go acc = function
+          | [] -> List.rev acc
+          | entry :: rest -> (
+              match
+                Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes
+              with
+              | None -> go (entry :: acc) rest
+              | Some nodes ->
+                  start_instance w entry nodes;
+                  go acc rest)
+        in
+        w.queue <- go [] w.queue
+      end
 
 and start_instance w entry nodes =
+
   let ci = entry.e_spec.Jobgen.class_index in
   let nsnap = Array.length w.snap in
+  let p = w.inst_free in
   let inst =
-    {
-      idx = w.next_inst;
-      spec = entry.e_spec;
-      total_work = entry.e_remaining;
-      entry_has_ckpt = entry.e_has_ckpt;
-      restarts = entry.e_restarts;
-      nodes;
-      start_time = now w;
-      period = w.periods.(ci);
-      ckpt_nominal = w.ckpt_nominals.(ci);
-      activity = Computing;
-      work_done = 0.0;
-      committed = 0.0;
-      has_ckpt = false;
-      compute_start = now w;
-      uncommitted = [];
-      last_commit_end = now w;
-      ckpt_request_ev = Engine.none;
-      work_done_ev = Engine.none;
-      wait_start = now w;
-      ckpt_content = 0.0;
-      holds_token = false;
-      (* Zero-length arrays are shared atoms: legacy (snapshot-free)
-         configs allocate nothing extra here. *)
-      committed_local = Array.make nsnap 0.0;
-      local_safe_time = Array.make nsnap (now w);
-      local_level = 0;
-      local_pause_start = now w;
-      local_tick_ev = Array.make nsnap Engine.none;
-      local_done_ev = Engine.none;
-      delay_ev = Engine.none;
-      cb_work_done = ignore;
-      cb_ckpt_request = ignore;
-      cb_local_tick = Array.make nsnap ignore;
-      cb_local_done = ignore;
-    }
+    if p.inf_n > 0 then begin
+      (* Refill a retired record. Its recycled callbacks (installed when
+         the record was first built) stay in place — they dereference the
+         record at fire time, so they act on this, the current, tenant. *)
+      p.inf_n <- p.inf_n - 1;
+      let i = p.inf.(p.inf_n) in
+      i.idx <- w.next_inst;
+      i.spec <- entry.e_spec;
+      i.total_work <- entry.e_remaining;
+      i.entry_has_ckpt <- entry.e_has_ckpt;
+      i.restarts <- entry.e_restarts;
+      i.nodes <- nodes;
+      i.start_time <- now w;
+      i.period <- w.periods.(ci);
+      i.ckpt_nominal <- w.ckpt_nominals.(ci);
+      i.activity <- Computing;
+      i.work_done <- 0.0;
+      i.committed <- 0.0;
+      i.has_ckpt <- false;
+      i.compute_start <- now w;
+      Interval_ledger.clear i.uncommitted;
+      i.last_commit_end <- now w;
+      i.ckpt_request_ev <- Engine.none;
+      i.work_done_ev <- Engine.none;
+      i.wait_start <- now w;
+      i.ckpt_content <- 0.0;
+      i.holds_token <- false;
+      Array.fill i.committed_local 0 nsnap 0.0;
+      Array.fill i.local_safe_time 0 nsnap (now w);
+      i.local_level <- 0;
+      i.local_pause_start <- now w;
+      Array.fill i.local_tick_ev 0 nsnap Engine.none;
+      i.local_done_ev <- Engine.none;
+      i.delay_ev <- Engine.none;
+      i
+    end
+    else begin
+      let i =
+        {
+          idx = w.next_inst;
+          spec = entry.e_spec;
+          total_work = entry.e_remaining;
+          entry_has_ckpt = entry.e_has_ckpt;
+          restarts = entry.e_restarts;
+          nodes;
+          start_time = now w;
+          period = w.periods.(ci);
+          ckpt_nominal = w.ckpt_nominals.(ci);
+          activity = Computing;
+          work_done = 0.0;
+          committed = 0.0;
+          has_ckpt = false;
+          compute_start = now w;
+          uncommitted = Interval_ledger.create ();
+          last_commit_end = now w;
+          ckpt_request_ev = Engine.none;
+          work_done_ev = Engine.none;
+          wait_start = now w;
+          ckpt_content = 0.0;
+          holds_token = false;
+          (* Zero-length arrays are shared atoms: legacy (snapshot-free)
+             configs allocate nothing extra here. *)
+          committed_local = Array.make nsnap 0.0;
+          local_safe_time = Array.make nsnap (now w);
+          local_level = 0;
+          local_pause_start = now w;
+          local_tick_ev = Array.make nsnap Engine.none;
+          local_done_ev = Engine.none;
+          delay_ev = Engine.none;
+          cb_work_done = ignore;
+          cb_ckpt_request = ignore;
+          cb_local_tick = Array.make nsnap ignore;
+          cb_local_done = ignore;
+        }
+      in
+      (* The recycled callbacks: one closure each per record, re-armed by
+         every periodic reschedule instead of a fresh closure per event,
+         and surviving the record's reuse. *)
+      i.cb_work_done <-
+        (fun _ ->
+          i.work_done_ev <- Engine.none;
+          on_work_complete w i);
+      Ckpt_path.install_callbacks w i;
+      i
+    end
   in
-  (* The recycled callbacks: one closure each per instance, re-armed by
-     every periodic reschedule instead of a fresh closure per event. *)
-  inst.cb_work_done <-
-    (fun _ ->
-      inst.work_done_ev <- Engine.none;
-      on_work_complete w inst);
-  Ckpt_path.install_callbacks w inst;
+
+
   w.next_inst <- w.next_inst + 1;
   w.jobs_started <- w.jobs_started + 1;
   Hashtbl.replace w.insts inst.idx inst;
-  emit_inst w inst
-    (Trace.Job_started { restarts = inst.restarts; nodes = inst.spec.Jobgen.nodes });
+  if tracing w then
+    emit_inst w inst
+      (Trace.Job_started { restarts = inst.restarts; nodes = inst.spec.Jobgen.nodes });
   match entry.e_restart with
   | Soft k when nsnap > 0 ->
       (* Restart from the surviving snapshot level: a fixed per-level
@@ -143,7 +214,8 @@ and begin_blocking_io w inst kind volume =
   else if w.uses_token then begin
     inst.activity <- Waiting_io kind;
     inst.wait_start <- now w;
-    Arbiter.submit w inst (Req_io kind) volume;
+
+    Arbiter.submit w inst (rkind_io kind) volume;
     Arbiter.try_grant w
   end
   else begin
@@ -208,6 +280,9 @@ and finish_job w inst =
   Node_pool.release w.pool inst.nodes;
   Hashtbl.remove w.insts inst.idx;
   w.jobs_completed <- w.jobs_completed + 1;
+  (* Every event handle is disarmed and the final flow completed: the
+     record can host the next start ([try_start] may reuse it at once). *)
+  release_inst w.inst_free inst;
   try_start w
 
 (* The Req_io grant continuation ({!Arbiter.try_grant} dispatches here

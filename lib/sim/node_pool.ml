@@ -1,24 +1,51 @@
-(* Range-based space sharing: allocations and the free pool are lists of
-   disjoint [lo, lo+len) ranges, so alloc/release/owner cost scales with
+(* Range-based space sharing: allocations and the free pool are sequences
+   of disjoint [lo, lo+len) ranges, so alloc/release/owner cost scales with
    the handful of live fragments rather than the node count of the
    machine. This is hot: every failure kills and restarts a job spanning
    thousands of nodes, and per-node bookkeeping dominated whole-campaign
-   profiles. *)
+   profiles.
 
-type range = { lo : int; len : int }
+   The ranges live in flat int arrays (free pool sorted by [lo], grants in
+   the first-fit take order, live grants in a dense swap-removable array),
+   so the kill/restart cycle moves ints in place instead of rebuilding
+   lists — release used to cons O(used-position + fragments) words per
+   failure. The first-fit, merge and coalesce orders are unchanged, which
+   keeps node→job ownership (and so failure victims and golden traces)
+   identical to the list implementation. *)
 
-type allocation = { job : int; ranges : range list; size : int }
+type allocation = {
+  job : int;
+  a_lo : int array;  (* granted ranges, ascending [lo] (first-fit order) *)
+  a_len : int array;
+  size : int;
+  mutable a_slot : int;  (* index in [t.used]; -1 once released *)
+}
 
 type t = {
   total : int;
-  mutable free : range list;  (* sorted by [lo], coalesced, disjoint *)
+  mutable f_lo : int array;  (* free ranges sorted by [lo], coalesced, disjoint *)
+  mutable f_len : int array;
+  mutable f_n : int;
   mutable free_n : int;
-  mutable used : allocation list;  (* live allocations, unordered *)
+  mutable used : allocation array;  (* live grants, dense prefix *)
+  mutable used_n : int;
 }
+
+let no_allocation = { job = -1; a_lo = [||]; a_len = [||]; size = 0; a_slot = -1 }
 
 let create ~nodes =
   if nodes <= 0 then invalid_arg "Node_pool.create: nodes must be positive";
-  { total = nodes; free = [ { lo = 0; len = nodes } ]; free_n = nodes; used = [] }
+  let f_lo = Array.make 8 0 and f_len = Array.make 8 0 in
+  f_len.(0) <- nodes;
+  {
+    total = nodes;
+    f_lo;
+    f_len;
+    f_n = 1;
+    free_n = nodes;
+    used = Array.make 8 no_allocation;
+    used_n = 0;
+  }
 
 let total t = t.total
 let free_count t = t.free_n
@@ -26,7 +53,23 @@ let used_count t = t.total - t.free_n
 let size a = a.size
 
 let to_list a =
-  List.concat_map (fun r -> List.init r.len (fun i -> r.lo + i)) a.ranges
+  let out = ref [] in
+  for i = Array.length a.a_lo - 1 downto 0 do
+    for n = a.a_lo.(i) + a.a_len.(i) - 1 downto a.a_lo.(i) do
+      out := n :: !out
+    done
+  done;
+  !out
+
+let ensure_free_capacity t need =
+  if need > Array.length t.f_lo then begin
+    let cap = max need (2 * Array.length t.f_lo) in
+    let lo = Array.make cap 0 and len = Array.make cap 0 in
+    Array.blit t.f_lo 0 lo 0 t.f_n;
+    Array.blit t.f_len 0 len 0 t.f_n;
+    t.f_lo <- lo;
+    t.f_len <- len
+  end
 
 let alloc t ~job ~count =
   if count <= 0 then invalid_arg "Node_pool.alloc: count must be positive";
@@ -34,48 +77,102 @@ let alloc t ~job ~count =
   if count > t.free_n then None
   else begin
     (* First fit: consume leading free ranges, splitting the last. The
-       taken list inherits the free list's ordering. *)
-    let rec take need = function
-      | [] -> assert false (* free_n said there was room *)
-      | r :: rest ->
-          if r.len > need then
-            ([ { r with len = need } ], { lo = r.lo + need; len = r.len - need } :: rest)
-          else if r.len = need then ([ r ], rest)
-          else
-            let got, rest' = take (need - r.len) rest in
-            (r :: got, rest')
-    in
-    let got, free' = take count t.free in
-    t.free <- free';
+       grant inherits the free pool's ascending order. *)
+    let need = ref count and whole = ref 0 in
+    while !need > 0 && t.f_len.(!whole) <= !need do
+      need := !need - t.f_len.(!whole);
+      incr whole
+    done;
+    let k = !whole + if !need > 0 then 1 else 0 in
+    let a_lo = Array.make k 0 and a_len = Array.make k 0 in
+    Array.blit t.f_lo 0 a_lo 0 !whole;
+    Array.blit t.f_len 0 a_len 0 !whole;
+    if !need > 0 then begin
+      a_lo.(k - 1) <- t.f_lo.(!whole);
+      a_len.(k - 1) <- !need;
+      t.f_lo.(!whole) <- t.f_lo.(!whole) + !need;
+      t.f_len.(!whole) <- t.f_len.(!whole) - !need
+    end;
+    (* Drop the fully-consumed leading ranges. *)
+    if !whole > 0 then begin
+      Array.blit t.f_lo !whole t.f_lo 0 (t.f_n - !whole);
+      Array.blit t.f_len !whole t.f_len 0 (t.f_n - !whole);
+      t.f_n <- t.f_n - !whole
+    end;
     t.free_n <- t.free_n - count;
-    let a = { job; ranges = got; size = count } in
-    t.used <- a :: t.used;
+    let a = { job; a_lo; a_len; size = count; a_slot = t.used_n } in
+    if t.used_n = Array.length t.used then begin
+      let used = Array.make (2 * t.used_n) no_allocation in
+      Array.blit t.used 0 used 0 t.used_n;
+      t.used <- used
+    end;
+    t.used.(t.used_n) <- a;
+    t.used_n <- t.used_n + 1;
     Some a
   end
 
 let release t a =
-  let rec remove = function
-    | [] -> invalid_arg "Node_pool.release: node already free"
-    | x :: rest -> if x == a then rest else x :: remove rest
-  in
-  t.used <- remove t.used;
-  let rec merge xs ys =
-    match (xs, ys) with
-    | [], l | l, [] -> l
-    | (x :: xr as xs), (y :: yr as ys) ->
-        if x.lo <= y.lo then x :: merge xr ys else y :: merge xs yr
-  in
-  let rec coalesce = function
-    | a :: b :: rest ->
-        if a.lo + a.len > b.lo then invalid_arg "Node_pool.release: node already free"
-        else if a.lo + a.len = b.lo then coalesce ({ lo = a.lo; len = a.len + b.len } :: rest)
-        else a :: coalesce (b :: rest)
-    | l -> l
-  in
-  t.free <- coalesce (merge t.free a.ranges);
+  if a.a_slot < 0 || a.a_slot >= t.used_n || t.used.(a.a_slot) != a then
+    invalid_arg "Node_pool.release: node already free";
+  (* Swap-remove from the live set. *)
+  let last = t.used_n - 1 in
+  let moved = t.used.(last) in
+  t.used.(a.a_slot) <- moved;
+  moved.a_slot <- a.a_slot;
+  t.used.(last) <- no_allocation;
+  t.used_n <- last;
+  a.a_slot <- -1;
+  (* Merge the grant's sorted ranges back, from the tail so it runs in
+     place, then coalesce forward — same order as the retired list merge. *)
+  let k = Array.length a.a_lo in
+  ensure_free_capacity t (t.f_n + k);
+  let fi = ref (t.f_n - 1) and ai = ref (k - 1) in
+  for w = t.f_n + k - 1 downto 0 do
+    if !ai < 0 || (!fi >= 0 && t.f_lo.(!fi) > a.a_lo.(!ai)) then begin
+      t.f_lo.(w) <- t.f_lo.(!fi);
+      t.f_len.(w) <- t.f_len.(!fi);
+      decr fi
+    end
+    else begin
+      t.f_lo.(w) <- a.a_lo.(!ai);
+      t.f_len.(w) <- a.a_len.(!ai);
+      decr ai
+    end
+  done;
+  let n = t.f_n + k in
+  (* Coalesce adjacent ranges in place; overlap means a double free. *)
+  let wp = ref 0 in
+  for r = 1 to n - 1 do
+    let wlo = t.f_lo.(!wp) and wlen = t.f_len.(!wp) in
+    if wlo + wlen > t.f_lo.(r) then invalid_arg "Node_pool.release: node already free"
+    else if wlo + wlen = t.f_lo.(r) then t.f_len.(!wp) <- wlen + t.f_len.(r)
+    else begin
+      incr wp;
+      t.f_lo.(!wp) <- t.f_lo.(r);
+      t.f_len.(!wp) <- t.f_len.(r)
+    end
+  done;
+  t.f_n <- (if n = 0 then 0 else !wp + 1);
   t.free_n <- t.free_n + a.size
 
-let owner t node =
+(* Top-level recursion (all state threaded as arguments): the nested local
+   functions this replaces captured their environment, costing one closure
+   per scanned grant on the failure hot path. *)
+let rec covers_from a node r =
+  if r >= Array.length a.a_lo then false
+  else
+    (node >= a.a_lo.(r) && node < a.a_lo.(r) + a.a_len.(r)) || covers_from a node (r + 1)
+
+let rec scan_owner t node i =
+  if i >= t.used_n then -1
+  else
+    let a = t.used.(i) in
+    if covers_from a node 0 then a.job else scan_owner t node (i + 1)
+
+let owner_idx t node =
   if node < 0 || node >= t.total then invalid_arg "Node_pool.owner: bad node id";
-  let covers a = List.exists (fun r -> node >= r.lo && node < r.lo + r.len) a.ranges in
-  match List.find_opt covers t.used with Some a -> Some a.job | None -> None
+  scan_owner t node 0
+
+let owner t node =
+  let j = owner_idx t node in
+  if j < 0 then None else Some j

@@ -27,6 +27,10 @@ val release : t -> allocation -> unit
 val owner : t -> int -> int option
 (** The job occupying a node, if any. *)
 
+val owner_idx : t -> int -> int
+(** Allocation-free {!owner}: the occupying job id, or [-1] when the node
+    is free. *)
+
 val size : allocation -> int
 (** Number of nodes in the grant. *)
 

@@ -41,22 +41,30 @@ type activity =
   | Local_ckpt  (* two-level: paused for a node-local snapshot *)
   | Local_recovery  (* two-level: restarting from node-local state *)
 
+(* Instance records are pooled ({!Lifecycle.start_instance} refills a
+   retired record instead of allocating one per start, the restart-storm
+   hot path), so every scalar field is mutable; the container fields
+   (ledger, per-snapshot-level arrays, recycled callbacks) are reused in
+   place — their sizes depend only on the run's config, never on the
+   instance. A record must only be released once every armed event is
+   cancelled and every flow aborted: the recycled callbacks stay installed
+   across reuses and act on whichever instance currently owns the record. *)
 type inst = {
-  idx : int;
-  spec : Jobgen.spec;
-  total_work : float;
-  entry_has_ckpt : bool;
-  restarts : int;
-  nodes : Node_pool.allocation;
-  start_time : float;
-  period : float;  (* P_i under the strategy's period rule *)
-  ckpt_nominal : float;  (* C_i at full bandwidth *)
+  mutable idx : int;
+  mutable spec : Jobgen.spec;
+  mutable total_work : float;
+  mutable entry_has_ckpt : bool;
+  mutable restarts : int;
+  mutable nodes : Node_pool.allocation;
+  mutable start_time : float;
+  mutable period : float;  (* P_i under the strategy's period rule *)
+  mutable ckpt_nominal : float;  (* C_i at full bandwidth *)
   mutable activity : activity;
   mutable work_done : float;
   mutable committed : float;
   mutable has_ckpt : bool;  (* committed during this instance *)
   mutable compute_start : float;
-  mutable uncommitted : (float * float) list;  (* work intervals since last commit *)
+  uncommitted : Interval_ledger.t;  (* work intervals since last commit *)
   mutable last_commit_end : float;
   (* Armed calendar events, [Engine.none] when absent: an [option] here
      would cost a [Some] allocation every time a periodic event re-arms. *)
@@ -87,14 +95,75 @@ type inst = {
 
 type rkind = Req_ckpt | Req_io of Io.io_kind
 
+(* Preallocated [Req_io] atoms: the payload constructors are constant, so a
+   submit site can reuse these instead of boxing a fresh [Req_io k] per
+   request. *)
+let req_io_input = Req_io Io.Input
+let req_io_output = Req_io Io.Output
+let req_io_ckpt = Req_io Io.Ckpt
+let req_io_recovery = Req_io Io.Recovery
+let req_io_drain = Req_io Io.Drain
+
+let rkind_io : Io.io_kind -> rkind = function
+  | Io.Input -> req_io_input
+  | Io.Output -> req_io_output
+  | Io.Ckpt -> req_io_ckpt
+  | Io.Recovery -> req_io_recovery
+  | Io.Drain -> req_io_drain
+
+(* Requests are pooled: every field is mutable so {!Arbiter.submit} can
+   refill a recycled record instead of allocating one per submission.
+   [r_slot] is maintained by the arbiter's pool — the slot currently
+   holding this record, or [-1] while the record is outside the pool; a
+   pool slot is live exactly when its record's [r_slot] points back at it,
+   which is what lets the pool drop its id → slot hash table. *)
 type request = {
-  r_id : int;
-  r_inst : inst;
-  r_kind : rkind;
-  r_volume : float;
-  r_at : float;
+  mutable r_id : int;
+  mutable r_inst : inst;
+  mutable r_kind : rkind;
+  mutable r_volume : float;
+  mutable r_at : float;
   mutable r_cancelled : bool;
+  mutable r_slot : int;
 }
+
+(* The recycling stack for retired request records. It lives outside [w]
+   (created before the arbiter, which is built inside the [w] literal) so
+   both the policies' cancellation path and the driver's post-grant release
+   can push onto the same stack that {!Arbiter.submit} pops. A released
+   record still references its last instance until reuse; the retention is
+   bounded by the deepest backlog ever seen. *)
+type req_free = { mutable rf : request array; mutable rf_n : int }
+
+let req_free_create () = { rf = [||]; rf_n = 0 }
+
+(* Retired instance records awaiting reuse, same shape as [req_free]. *)
+type inst_free = { mutable inf : inst array; mutable inf_n : int }
+
+let inst_free_create () = { inf = [||]; inf_n = 0 }
+
+let release_inst p (i : inst) =
+  let cap = Array.length p.inf in
+  if cap = 0 then p.inf <- Array.make 16 i
+  else if p.inf_n = cap then begin
+    let bigger = Array.make (2 * cap) p.inf.(0) in
+    Array.blit p.inf 0 bigger 0 cap;
+    p.inf <- bigger
+  end;
+  p.inf.(p.inf_n) <- i;
+  p.inf_n <- p.inf_n + 1
+
+let release_request p (r : request) =
+  r.r_slot <- -1;
+  let cap = Array.length p.rf in
+  if cap = 0 then p.rf <- Array.make 16 r
+  else if p.rf_n = cap then begin
+    let bigger = Array.make (2 * cap) p.rf.(0) in
+    Array.blit p.rf 0 bigger 0 cap;
+    p.rf <- bigger
+  end;
+  p.rf.(p.rf_n) <- r;
+  p.rf_n <- p.rf_n + 1
 
 (* Arbiter observability: cumulative counters plus the live backlog, cheap
    enough to read at every probe. *)
@@ -153,6 +222,8 @@ type w = {
   uses_token : bool;
   ckpt_enabled : bool;
   arbiter : arbiter;
+  req_free : req_free;  (* retired request records, shared with [arbiter] *)
+  inst_free : inst_free;  (* retired instance records *)
   mutable queue : entry list;  (* priority order: restarts first *)
   insts : (int, inst) Hashtbl.t;
   bb : Burst_buffer.t option;
@@ -224,14 +295,39 @@ let pause_compute w inst =
   let t = now w in
   if t > inst.compute_start then begin
     inst.work_done <- inst.work_done +. (t -. inst.compute_start);
-    inst.uncommitted <- (inst.compute_start, t) :: inst.uncommitted
+    Interval_ledger.push inst.uncommitted ~lo:inst.compute_start ~hi:t
   end
 
+(* Flush order contract: the retired list ledger kept its head newest, so
+   metrics saw intervals newest-first; the array ledger replays that order
+   (length − 1 downto 0) to keep summation order — and the golden traces —
+   bit-identical. *)
 let flush_uncommitted w inst kind =
-  List.iter
-    (fun (t0, t1) -> Metrics.record w.metrics ~t0 ~t1 ~nodes:inst.spec.nodes kind)
-    inst.uncommitted;
-  inst.uncommitted <- []
+  let led = inst.uncommitted in
+  for i = Interval_ledger.length led - 1 downto 0 do
+    Metrics.record w.metrics ~t0:(Interval_ledger.lo_at led i)
+      ~t1:(Interval_ledger.hi_at led i) ~nodes:inst.spec.nodes kind
+  done;
+  Interval_ledger.clear led
+
+(* Failure partition: intervals ending after [safe] are lost, the rest
+   survive as work (the multilevel soft-restart path); [safe = neg_infinity]
+   loses everything. Lost intervals flush first, then kept ones, each subset
+   newest-first — the exact record order of the old two-pass list flush. *)
+let flush_partition w inst ~safe =
+  let led = inst.uncommitted in
+  let n = Interval_ledger.length led in
+  for i = n - 1 downto 0 do
+    if Interval_ledger.hi_at led i > safe then
+      Metrics.record w.metrics ~t0:(Interval_ledger.lo_at led i)
+        ~t1:(Interval_ledger.hi_at led i) ~nodes:inst.spec.nodes Metrics.Lost_work
+  done;
+  for i = n - 1 downto 0 do
+    if not (Interval_ledger.hi_at led i > safe) then
+      Metrics.record w.metrics ~t0:(Interval_ledger.lo_at led i)
+        ~t1:(Interval_ledger.hi_at led i) ~nodes:inst.spec.nodes Metrics.Work
+  done;
+  Interval_ledger.clear led
 
 let record_wait w inst ~from =
   Metrics.record w.metrics ~t0:from ~t1:(now w) ~nodes:inst.spec.nodes Metrics.Wait
@@ -242,6 +338,11 @@ let emit w ~job ~inst kind =
   | None -> ()
 
 let emit_inst w (inst : inst) kind = emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx kind
+
+(* Payload-carrying trace constructors ([Job_started {…}], [Job_killed {…}],
+   …) allocate at the call site even when tracing is off; emit sites guard
+   them with this so the untraced hot path builds nothing. *)
+let[@inline] tracing w = match w.trace with Some _ -> true | None -> false
 
 let release_token w inst =
   if inst.holds_token then begin

@@ -222,6 +222,9 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
         | [] -> None
         | bufs -> Some (Ckpt_hierarchy.create ~engine ~metrics ~pfs:io bufs))
   in
+  (* Created before the [w] literal so the arbiter (built inside it) and
+     the submit/grant driver recycle through the same stack. *)
+  let req_free = req_free_create () in
   let w =
     {
       cfg;
@@ -242,7 +245,9 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
           ~node_mtbf_s:cfg.platform.Platform.node_mtbf_s
           ~bandwidth_gbs:cfg.platform.Platform.bandwidth_gbs
           ~levels:(1 + match hier with Some h -> Ckpt_hierarchy.levels_count h | None -> 0)
-          ();
+          ~free:req_free ();
+      req_free;
+      inst_free = inst_free_create ();
       queue =
         Array.to_list
           (Array.map

@@ -1,0 +1,109 @@
+(* Open-addressing int → int hash table for hot-path indices (request id →
+   pool slot, key → aggregate slot). [Hashtbl] allocates a bucket cons per
+   [replace] and a [Some] per [find_opt]; this table stores keys and values
+   flat in two int arrays and returns a sentinel on miss, so steady-state
+   lookups and updates allocate nothing.
+
+   Keys must be ≥ 0 (the simulator's ids are). Linear probing over a
+   power-of-two capacity; deletions leave tombstones, and the table rehashes
+   once live + tombstone occupancy passes half the capacity. *)
+
+type t = {
+  mutable keys : int array;  (* empty = -1, tombstone = -2 *)
+  mutable vals : int array;
+  mutable mask : int;  (* capacity - 1 *)
+  mutable live : int;
+  mutable fill : int;  (* live + tombstones *)
+}
+
+let empty_key = -1
+let tomb_key = -2
+let not_found = -1
+
+let rec pow2 n c = if c >= n then c else pow2 n (2 * c)
+
+let create ?(initial = 16) () =
+  let cap = pow2 (max initial 4) 4 in
+  { keys = Array.make cap empty_key; vals = Array.make cap 0; mask = cap - 1; live = 0; fill = 0 }
+
+let length t = t.live
+
+(* Fibonacci hashing spreads the sequential ids the simulator hands out. *)
+let[@inline] slot_of t key = key * 0x2545F491 land max_int land t.mask
+
+let rec probe_find keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key then i
+  else if k = empty_key then -1
+  else probe_find keys mask key ((i + 1) land mask)
+
+let[@inline] find t key =
+  let i = probe_find t.keys t.mask key (slot_of t key) in
+  if i < 0 then not_found else Array.unsafe_get t.vals i
+
+let[@inline] mem t key = probe_find t.keys t.mask key (slot_of t key) >= 0
+
+let rec probe_insert keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = empty_key || k = tomb_key then i
+  else probe_insert keys mask key ((i + 1) land mask)
+
+let rehash t cap =
+  let keys = Array.make cap empty_key and vals = Array.make cap 0 in
+  let mask = cap - 1 in
+  let old_keys = t.keys and old_vals = t.vals in
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.fill <- t.live;
+  for i = 0 to Array.length old_keys - 1 do
+    let k = Array.unsafe_get old_keys i in
+    if k >= 0 then begin
+      let j =
+        let rec free j = if Array.unsafe_get keys j = empty_key then j else free ((j + 1) land mask) in
+        free (slot_of t k)
+      in
+      Array.unsafe_set keys j k;
+      Array.unsafe_set vals j (Array.unsafe_get old_vals i)
+    end
+  done
+
+let set t key v =
+  if key < 0 then invalid_arg "Int_table.set: negative key";
+  let i = probe_insert t.keys t.mask key (slot_of t key) in
+  let k = Array.unsafe_get t.keys i in
+  (* A tombstone hit may shadow a live entry for the same key further down
+     the probe chain; only reuse it when the key is genuinely absent. *)
+  if k = key then Array.unsafe_set t.vals i v
+  else if k = tomb_key && mem t key then begin
+    let j = probe_find t.keys t.mask key (slot_of t key) in
+    Array.unsafe_set t.vals j v
+  end
+  else begin
+    if k = empty_key then t.fill <- t.fill + 1;
+    Array.unsafe_set t.keys i key;
+    Array.unsafe_set t.vals i v;
+    t.live <- t.live + 1;
+    if 2 * t.fill > t.mask + 1 then
+      rehash t (if 4 * t.live > t.mask + 1 then 2 * (t.mask + 1) else t.mask + 1)
+  end
+
+let remove t key =
+  let i = probe_find t.keys t.mask key (slot_of t key) in
+  if i < 0 then false
+  else begin
+    Array.unsafe_set t.keys i tomb_key;
+    t.live <- t.live - 1;
+    true
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_key;
+  t.live <- 0;
+  t.fill <- 0
+
+let iter t f =
+  for i = 0 to Array.length t.keys - 1 do
+    let k = Array.unsafe_get t.keys i in
+    if k >= 0 then f k (Array.unsafe_get t.vals i)
+  done

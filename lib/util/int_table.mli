@@ -1,0 +1,32 @@
+(** Open-addressing int → int hash table, allocation-free in steady state.
+
+    Backs the simulator's hot-path indices (request id → pool slot, key →
+    aggregate slot) where [Hashtbl]'s bucket conses and [find_opt]'s [Some]
+    would land on the per-event allocation budget. Keys must be ≥ 0. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [initial] (default 16) is rounded up to a power of two. *)
+
+val length : t -> int
+(** Number of live bindings. *)
+
+val not_found : int
+(** Sentinel returned by {!find} on a miss (-1). Values stored may be any
+    int, but callers using {!find} conventionally store values ≥ 0. *)
+
+val find : t -> int -> int
+(** Value bound to the key, or {!not_found}. Never allocates. *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** Bind key → value, replacing any previous binding. Amortized O(1);
+    rehashes in place once occupancy (live + tombstones) passes 1/2. *)
+
+val remove : t -> int -> bool
+(** Unbind the key; returns whether it was bound. Never allocates. *)
+
+val clear : t -> unit
+val iter : t -> (int -> int -> unit) -> unit

@@ -1,0 +1,41 @@
+(** Unboxed stack of [lo, hi] work intervals.
+
+    Replaces the simulator's per-instance [(float * float) list]
+    uncommitted-work ledgers with two parallel float arrays: pushes,
+    threshold partitions and folds run in place without allocating. See
+    DESIGN §4k for the ownership rules.
+
+    Order contract: {!push} appends, so index [length t - 1] holds the
+    {e newest} interval. Code replicating the retired list representation's
+    traversal order (head = newest) iterates [length t - 1] downto [0]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty ledger. [capacity] (default 8) pre-sizes the backing
+    arrays; the ledger grows by doubling as needed. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val lo_at : t -> int -> float
+(** Start of the [i]-th interval, oldest at index 0. Unchecked. *)
+
+val hi_at : t -> int -> float
+(** End of the [i]-th interval, oldest at index 0. Unchecked. *)
+
+val push : t -> lo:float -> hi:float -> unit
+(** Append an interval (it becomes the newest). *)
+
+val clear : t -> unit
+(** Drop every interval. The backing arrays are retained for reuse. *)
+
+val lost_above : t -> safe:float -> float
+(** Σ (hi − lo) over intervals with [hi > safe], folded newest-first with
+    seed 0.0 — bit-identical to the list-based
+    [List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost] over the
+    partitioned newest-first list. [safe = neg_infinity] sums everything. *)
+
+val to_list : t -> (float * float) list
+(** Newest-first [(lo, hi)] materialization (the retired representation's
+    order). Allocates; for tests and debugging. *)

@@ -78,6 +78,10 @@ val mem : 'a t -> 'a handle -> bool
 val priority_of : 'a t -> 'a handle -> float option
 (** The current priority behind a live handle. *)
 
+val priority_is : 'a t -> 'a handle -> float -> bool
+(** [priority_is t h p] is [priority_of t h = Some p] without the option
+    and boxed-float allocation; [false] for dead handles. *)
+
 val tag_of : 'a t -> 'a handle -> int option
 (** The tag behind a live handle ([0] unless inserted by {!add_tagged}). *)
 

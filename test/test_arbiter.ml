@@ -43,7 +43,7 @@ let mk_inst ~idx ~nodes ~last_commit_end =
     committed = 0.0;
     has_ckpt = false;
     compute_start = 0.0;
-    uncommitted = [];
+    uncommitted = Cocheck_util.Interval_ledger.create ();
     last_commit_end;
     ckpt_request_ev = T.Engine.none;
     work_done_ev = T.Engine.none;
@@ -68,7 +68,15 @@ let next_id = ref 0
 let mk_request ?(kind = T.Req_ckpt) ?(volume = 100.0) ?(at = 0.0) inst =
   let r_id = !next_id in
   incr next_id;
-  { T.r_id; r_inst = inst; r_kind = kind; r_volume = volume; r_at = at; r_cancelled = false }
+  {
+    T.r_id;
+    r_inst = inst;
+    r_kind = kind;
+    r_volume = volume;
+    r_at = at;
+    r_cancelled = false;
+    r_slot = -1;
+  }
 
 let drain ~now (module A : Arbiter.S) =
   let rec go acc =

@@ -49,7 +49,7 @@ let mk_inst ~pool ~idx ~nodes ~last_commit_end ~ckpt_gb ~bandwidth_gbs =
     committed = 0.0;
     has_ckpt = false;
     compute_start = 0.0;
-    uncommitted = [];
+    uncommitted = Cocheck_util.Interval_ledger.create ();
     last_commit_end;
     ckpt_request_ev = T.Engine.none;
     work_done_ev = T.Engine.none;
@@ -153,6 +153,7 @@ let run_schedule ~ctx (s : schedule) =
         r_volume = volume;
         r_at = at;
         r_cancelled = false;
+        r_slot = -1;
       }
     in
     (mk (), mk ())

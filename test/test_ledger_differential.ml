@@ -1,0 +1,157 @@
+(* Differential oracle for the unboxed interval ledger: drive
+   Cocheck_util.Interval_ledger and the retired [(lo, hi) list]
+   representation (head newest) through identical randomized histories of
+   commit / lose / snapshot-partition / flush — including the multilevel
+   soft-restart partition, where [safe] is the max over the surviving
+   snapshot levels' safe times — and check every observable agrees: the
+   materialized interval sequence exactly, every total to 1e-12 (the fold
+   orders are identical, so the sums are in fact bit-equal).
+
+   Times live on a quarter-second grid so that level safe times frequently
+   coincide exactly with interval endpoints, exercising the strict
+   [hi > safe] boundary (an interval ending exactly at [safe] survives). *)
+
+module L = Cocheck_util.Interval_ledger
+
+type op =
+  | Commit of int * int  (* gap, duration — quarter-seconds, both can be 0 *)
+  | Lost of int list  (* query lost_above at max surviving level safe time *)
+  | Partition of int list  (* failure: partition at multilevel safe, then clear *)
+  | Flush  (* commit everything, then clear *)
+  | Clear
+
+let show_op =
+  let levels ls = String.concat "," (List.map string_of_int ls) in
+  function
+  | Commit (g, d) -> Printf.sprintf "Commit(%d,%d)" g d
+  | Lost ls -> Printf.sprintf "Lost[%s]" (levels ls)
+  | Partition ls -> Printf.sprintf "Partition[%s]" (levels ls)
+  | Flush -> "Flush"
+  | Clear -> "Clear"
+
+let op_gen =
+  QCheck.Gen.(
+    let quarters = int_range 0 400 in
+    let survivors = list_size (int_range 0 3) quarters in
+    frequency
+      [
+        (6, map2 (fun g d -> Commit (g, d)) (int_range 0 8) (int_range 0 12));
+        (3, map (fun ls -> Lost ls) survivors);
+        (3, map (fun ls -> Partition ls) survivors);
+        (1, return Flush);
+        (1, return Clear);
+      ])
+
+let history_gen = QCheck.Gen.(list_size (int_range 1 200) op_gen)
+
+let arb_history =
+  QCheck.make ~print:(fun ops -> String.concat "; " (List.map show_op ops)) history_gen
+
+(* The multilevel safe threshold, exactly as the failure path computes it: a
+   hard failure (no survivor) keeps [safe] at -inf and loses everything. *)
+let safe_of levels =
+  List.fold_left (fun acc q -> Float.max acc (float_of_int q /. 4.0)) neg_infinity levels
+
+(* Reference semantics on the retired head-newest list. *)
+let ref_lost_above list ~safe =
+  let lost = List.filter (fun (_, b) -> b > safe) list in
+  List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 lost
+
+let ref_partition list ~safe =
+  let lost, kept = List.partition (fun (_, b) -> b > safe) list in
+  let total = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 in
+  (total lost, total kept)
+
+(* Ledger-side partition totals in the flush_partition replay order:
+   lost newest-first, then kept newest-first. *)
+let led_partition led ~safe =
+  let n = L.length led in
+  let lost = ref 0.0 and kept = ref 0.0 in
+  for i = n - 1 downto 0 do
+    if L.hi_at led i > safe then lost := !lost +. (L.hi_at led i -. L.lo_at led i)
+  done;
+  for i = n - 1 downto 0 do
+    if not (L.hi_at led i > safe) then kept := !kept +. (L.hi_at led i -. L.lo_at led i)
+  done;
+  (!lost, !kept)
+
+let led_total led =
+  let t = ref 0.0 in
+  for i = L.length led - 1 downto 0 do
+    t := !t +. (L.hi_at led i -. L.lo_at led i)
+  done;
+  !t
+
+let run_history ops =
+  let led = L.create () in
+  let reference = ref [] in
+  let clock = ref 0.0 in
+  let fail op fmt =
+    Printf.ksprintf (fun msg -> QCheck.Test.fail_reportf "%s: %s" (show_op op) msg) fmt
+  in
+  let check_total op what a b =
+    if Float.abs (a -. b) > 1e-12 then fail op "%s diverged: %.17g vs %.17g" what a b
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Commit (gap, dur) ->
+          let lo = !clock +. (float_of_int gap /. 4.0) in
+          let hi = lo +. (float_of_int dur /. 4.0) in
+          clock := hi;
+          L.push led ~lo ~hi;
+          reference := (lo, hi) :: !reference
+      | Lost levels ->
+          let safe = safe_of levels in
+          check_total op "lost_above" (L.lost_above led ~safe)
+            (ref_lost_above !reference ~safe)
+      | Partition levels ->
+          let safe = safe_of levels in
+          let ll, lk = led_partition led ~safe in
+          let rl, rk = ref_partition !reference ~safe in
+          check_total op "partition lost" ll rl;
+          check_total op "partition kept" lk rk;
+          L.clear led;
+          reference := []
+      | Flush ->
+          check_total op "flush total" (led_total led)
+            (List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 !reference);
+          L.clear led;
+          reference := []
+      | Clear ->
+          L.clear led;
+          reference := []);
+      if L.length led <> List.length !reference then fail op "length diverged";
+      if L.is_empty led <> (!reference = []) then fail op "is_empty diverged";
+      if L.to_list led <> !reference then fail op "to_list diverged")
+    ops;
+  (* Final sweep: a hard-failure query must account for every interval. *)
+  if
+    Float.abs
+      (L.lost_above led ~safe:neg_infinity -. ref_lost_above !reference ~safe:neg_infinity)
+    > 1e-12
+  then QCheck.Test.fail_report "final hard-failure lost_above diverged";
+  true
+
+let test_differential =
+  QCheck.Test.make ~name:"interval_ledger_equals_list_reference" ~count:300 arb_history
+    run_history
+
+(* Deterministic boundary check: an interval ending exactly at [safe]
+   survives the partition; one ending any amount later is lost. *)
+let test_safe_boundary () =
+  let led = L.create () in
+  L.push led ~lo:0.0 ~hi:2.0;
+  L.push led ~lo:3.0 ~hi:4.0;
+  let lost, kept = led_partition led ~safe:2.0 in
+  Alcotest.(check (float 0.0)) "boundary interval kept" 2.0 kept;
+  Alcotest.(check (float 0.0)) "later interval lost" 1.0 lost;
+  Alcotest.(check (float 0.0)) "lost_above matches" 1.0 (L.lost_above led ~safe:2.0)
+
+let () =
+  Alcotest.run "cocheck.ledger-differential"
+    [
+      ( "differential",
+        QCheck_alcotest.to_alcotest ~long:false test_differential
+        :: [ Alcotest.test_case "safe boundary" `Quick test_safe_boundary ] );
+    ]

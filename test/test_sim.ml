@@ -315,15 +315,37 @@ let test_io_drain_interferes_with_foreground () =
 (* ------------------------------------------------------------------ *)
 
 let test_failures_increasing_times () =
+  (* Non-decreasing, not strictly increasing: gaps are clamped at 0.0 (not
+     some epsilon), so coincident events are legal at extreme rates. *)
   let t =
     Failure_trace.create ~rng:(Rng.create ~seed:1) ~nodes:100 ~node_mtbf_s:1e5 ()
   in
   let prev = ref 0.0 in
   for _ = 1 to 1000 do
     let e = Failure_trace.next t in
-    Alcotest.(check bool) "strictly increasing" true (e.Failure_trace.time > !prev);
+    Alcotest.(check bool) "non-decreasing" true (e.Failure_trace.time >= !prev);
     prev := e.time
   done
+
+let test_failures_tiny_gaps_unbiased () =
+  (* Regression: the gap clamp used to be [Float.max dt 1e-9]. At 50k nodes
+     with node_mtbf_s = 2.5e-5 the true mean gap is 5e-10 — below the old
+     floor — so every draw was inflated to ≥1e-9 and the realized mean came
+     out ≥2× the nominal rate. With the 0.0 clamp the sample mean must sit
+     within sampling noise of the truth. *)
+  let nodes = 50_000 and node_mtbf_s = 2.5e-5 in
+  let t = Failure_trace.create ~rng:(Rng.create ~seed:11) ~nodes ~node_mtbf_s () in
+  let n = 50_000 in
+  let last = ref 0.0 in
+  for _ = 1 to n do
+    last := (Failure_trace.next t).Failure_trace.time
+  done;
+  let mean = !last /. float_of_int n in
+  let expect = node_mtbf_s /. float_of_int nodes in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean gap %.3e within 5%% of %.3e (old clamp gave >= 2x)" mean expect)
+    true
+    (mean > 0.95 *. expect && mean < 1.05 *. expect)
 
 let test_failures_node_range =
   QCheck.Test.make ~name:"failure_nodes_in_range" ~count:50
@@ -580,6 +602,7 @@ let () =
       ( "failure_trace",
         [
           Alcotest.test_case "increasing times" `Quick test_failures_increasing_times;
+          Alcotest.test_case "tiny gaps unbiased" `Quick test_failures_tiny_gaps_unbiased;
           Alcotest.test_case "rate matches MTBF" `Quick test_failures_rate;
           Alcotest.test_case "peek consistent" `Quick test_failures_peek_consistent;
           Alcotest.test_case "deterministic" `Quick test_failures_deterministic;
