@@ -25,7 +25,7 @@ let modes = ref []
 let bench_out = ref ""
 let quota_s = ref 1.0
 
-let usage = "bench [table1|fig1|fig2|fig3|ablations|micro|tracing|all]* [options]"
+let usage = "bench [table1|fig1|fig2|fig3|ablations|micro|serve|tracing|all]* [options]"
 
 let spec =
   [
@@ -297,6 +297,7 @@ let micro_tests () =
           cb_ckpt_request = ignore;
           cb_local_tick = [||];
           cb_local_done = ignore;
+          live_slot = -1;
         }
       in
       {
@@ -372,11 +373,96 @@ let run_campaign_resume pool e2e =
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists store then rm_rf store)
     (fun () ->
+      let store = E.Store.open_ store in
       e2e "campaign-resume-cold-64" (fun () ->
           ignore (E.Runner.run ~pool ~store spec));
       e2e "campaign-resume-warm-64" (fun () ->
           let o = E.Runner.run ~pool ~store spec in
           assert (o.E.Runner.simulated = 0 && o.E.Runner.baselines = 0)))
+
+(* The campaign service under concurrent clients: N simultaneous
+   connections each running its own single-cell campaign, cold first
+   (simulated server-side, fair-queued across per-connection tenants),
+   then fully warm (answered from the sharded store — the warm pass
+   asserts the server performed zero simulations). Reported: per-request
+   p50/p95 latency for both passes plus warm throughput. *)
+let run_campaign_serve pool =
+  section "Campaign service (concurrent clients, cold vs warm)";
+  let platform =
+    Platform.make ~name:"tiny" ~nodes:64 ~mem_per_node_gb:1.0 ~bandwidth_gbs:1.0
+      ~node_mtbf_s:(Cocheck_util.Units.years 0.1)
+  in
+  let tiny_class =
+    Cocheck_model.App_class.make ~name:"toy" ~workload_pct:100.0
+      ~walltime_s:(Cocheck_util.Units.hours 2.0) ~nodes:16 ~input_pct:10.0
+      ~output_pct:10.0 ~ckpt_pct:50.0 ()
+  in
+  (* One distinct single-cell campaign per client: every cold request
+     simulates its own two points, so the cold pass exercises admission,
+     fair queueing and concurrent store writes, not same-key dedup. *)
+  let spec_of i =
+    E.Spec.make ~name:(Printf.sprintf "bench-serve-%d" i) ~platform
+      ~classes:[ tiny_class ] ~strategies:[ Strategy.Least_waste ] ~reps:2
+      ~seed:(!seed + i) ~days:0.25 ()
+  in
+  let quantile lat q =
+    let a = Array.copy lat in
+    Array.sort compare a;
+    a.(min (Array.length a - 1) (int_of_float (q *. float_of_int (Array.length a))))
+  in
+  let serve n =
+    let dir = Filename.temp_file "cocheck-bench-serve" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    let sock = Filename.temp_file "cocheck" ".sock" in
+    Sys.remove sock;
+    let store = E.Store.open_ dir in
+    let srv = E.Service.create ~pool ~store (E.Service.listen_unix sock) in
+    let th = Thread.create E.Service.run srv in
+    Fun.protect
+      ~finally:(fun () ->
+        E.Service.stop srv;
+        Thread.join th;
+        if Sys.file_exists sock then Sys.remove sock;
+        rm_rf dir)
+      (fun () ->
+        let pass ~warm =
+          let lat = Array.make n 0.0 in
+          let t0 = Unix.gettimeofday () in
+          let client i =
+            let conn = E.Service.Client.connect_unix sock in
+            let t = Unix.gettimeofday () in
+            let resp =
+              E.Service.Client.request conn
+                (E.Protocol.Campaign { spec = spec_of i; progress = false })
+            in
+            lat.(i) <- Unix.gettimeofday () -. t;
+            E.Service.Client.close conn;
+            match resp with
+            | E.Protocol.Campaign_result { simulated; baselines; _ } ->
+                (* the acceptance bar: a fully warm pass never simulates *)
+                if warm then assert (simulated = 0 && baselines = 0)
+            | _ -> assert false
+          in
+          let threads = Array.init n (fun i -> Thread.create client i) in
+          Array.iter Thread.join threads;
+          (lat, Unix.gettimeofday () -. t0)
+        in
+        let cold, _ = pass ~warm:false in
+        let warm, warm_wall = pass ~warm:true in
+        let entry suffix v =
+          let name = Printf.sprintf "campaign-serve-%d-clients-%s" n suffix in
+          e2e_wall := (name, v) :: !e2e_wall;
+          Printf.printf "  %-40s %12.5f\n%!" name v
+        in
+        entry "cold-p50" (quantile cold 0.5);
+        entry "cold-p95" (quantile cold 0.95);
+        entry "warm-p50" (quantile warm 0.5);
+        entry "warm-p95" (quantile warm 0.95);
+        entry "warm-rps" (float_of_int n /. warm_wall))
+  in
+  serve 16;
+  serve 256
 
 let run_micro pool =
   section "Microbenchmarks (Bechamel)";
@@ -611,6 +697,7 @@ let () =
       if has "fig3" then run_fig3 pool;
       if has "ablations" then run_ablations pool;
       if has "micro" then timed "micro" (fun () -> run_micro pool);
+      if has "serve" then timed "serve" (fun () -> run_campaign_serve pool);
       if has "tracing" then timed "tracing" run_tracing_overhead);
   (match Cocheck_obs.Timer.phases timer with
   | [] -> ()

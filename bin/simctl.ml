@@ -987,6 +987,7 @@ let campaign_run_cmd =
         progress_oc
     in
     with_pool ?telemetry domains (fun pool ->
+        let store = Option.map E.Store.open_ store in
         let o = E.Runner.run ~pool ?store ~tracer ?on_progress spec in
         let cells, strategies, reps = campaign_counts spec in
         Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
@@ -1109,7 +1110,7 @@ let campaign_status_cmd =
         match (spec_file, store) with
         | Some spec_file, Some store ->
             let spec = load_spec spec_file in
-            let p = E.Runner.status ~store spec in
+            let p = E.Runner.status ~store:(E.Store.open_ store) spec in
             let cells, strategies, reps = campaign_counts spec in
             Format.printf "campaign %s (digest %s): %d cells x %d strategies x %d reps@."
               spec.E.Spec.name (E.Spec.digest spec) cells strategies reps;
@@ -1134,14 +1135,185 @@ let campaign_cmd =
              caching, resumable execution.")
     [ campaign_run_cmd; campaign_status_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / query                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let socket_t =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Serve on (connect to) a Unix-domain socket at $(docv).")
+
+let port_t =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Serve on (connect to) TCP 127.0.0.1:$(docv).")
+
+let endpoint_error () =
+  Format.eprintf "error: pass exactly one of --socket PATH or --port PORT@.";
+  exit 2
+
+let serve_cmd =
+  let store_req_t =
+    Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Results store directory the service answers from (created and \
+                 shard-migrated if needed).")
+  in
+  let max_inflight_t =
+    Arg.(value & opt int 4096 & info [ "max-inflight" ] ~docv:"POINTS"
+           ~doc:"Admission bound: campaign requests get an immediate overload reply \
+                 while this many points are already queued or running (an idle server \
+                 always admits).")
+  in
+  let action socket port store domains max_inflight =
+    let listener =
+      match (socket, port) with
+      | Some path, None -> E.Service.listen_unix path
+      | None, Some port -> E.Service.listen_tcp port
+      | _ -> endpoint_error ()
+    in
+    with_pool domains (fun pool ->
+        let store = E.Store.open_ store in
+        let srv = E.Service.create ~max_inflight ~pool ~store listener in
+        let stop _ = E.Service.stop srv in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Format.printf "simctl serve: listening on %s (store %s, %d records, %d domains)@."
+          (match (socket, port) with
+          | Some path, _ -> path
+          | _, Some port -> Printf.sprintf "127.0.0.1:%d" port
+          | _ -> assert false)
+          (E.Store.dir store) (E.Store.record_count store) (Pool.num_workers pool);
+        Format.print_flush ();
+        E.Service.run srv;
+        Format.printf "simctl serve: drained, shutting down@.");
+    match socket with
+    | Some path when Sys.file_exists path -> Sys.remove path
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running campaign service: concurrent campaign/bound/waste queries as \
+             JSONL over a socket, fair-queued across clients, warm queries answered \
+             from the store with zero simulations.")
+    Term.(const action $ socket_t $ port_t $ store_req_t $ domains_t $ max_inflight_t)
+
+let query_connect ~socket ~port =
+  match (socket, port) with
+  | Some path, None -> E.Service.Client.connect_unix path
+  | None, Some port -> E.Service.Client.connect_tcp port
+  | _ -> endpoint_error ()
+
+let render_progress = function
+  | E.Runner.Point { done_points; total_points; elapsed_s; cell; rep; strategy; source; _ } ->
+      Format.printf "[%4d/%d] %8.1fs  cell %-3d rep %-3d %-20s %s@." done_points total_points
+        elapsed_s cell rep strategy
+        (match source with `Cached -> "cached" | `Simulated -> "simulated")
+  | E.Runner.Finished _ -> ()
+
+let print_response = function
+  | E.Protocol.Pong -> Format.printf "pong@."
+  | E.Protocol.Bye -> Format.printf "server shutting down@."
+  | E.Protocol.Overload { inflight; limit } ->
+      Format.eprintf "overloaded: %d points in flight (limit %d); retry later@." inflight
+        limit;
+      exit 3
+  | E.Protocol.Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+  | E.Protocol.Progress _ -> ()
+  | E.Protocol.Campaign_result r ->
+      Format.printf "campaign: %d points in %.2fs (%d simulated, %d baselines, %d cached)@."
+        r.total_points r.elapsed_s r.simulated r.baselines r.loaded;
+      List.iter
+        (fun (c : E.Protocol.cell_summary) ->
+          Format.printf "  %s%-24s mean waste %.4f  (q1 %.4f  median %.4f  q3 %.4f)@."
+            (match c.x with None -> "" | Some x -> Printf.sprintf "x=%-8g " x)
+            c.strategy c.mean c.q1 c.median c.q3)
+        r.cells
+  | E.Protocol.Status_result r ->
+      Format.printf "records: total=%d cached=%d missing=%d@." r.total r.cached r.missing
+  | E.Protocol.Bound_result r ->
+      Format.printf "lambda: %.6g@." r.lambda;
+      Format.printf "I/O fraction F: %.4f@." r.io_fraction;
+      Format.printf "waste lower bound: %.4f (efficiency %.4f)@." r.waste (1.0 -. r.waste)
+  | E.Protocol.Waste_result r -> Format.printf "analytic waste: %.4f@." r.waste
+  | E.Protocol.Stats_result r ->
+      Format.printf
+        "store: hits=%d misses=%d loads=%d writes=%d evictions=%d migrated=%d indexed=%d@."
+        r.store.E.Store.hits r.store.E.Store.misses r.store.E.Store.loads
+        r.store.E.Store.writes r.store.E.Store.evictions r.store.E.Store.migrated r.indexed;
+      Format.printf "service: inflight_points=%d served=%d@." r.inflight r.served
+
+let query_one ~socket ~port ?on_progress req =
+  let conn = query_connect ~socket ~port in
+  Fun.protect
+    ~finally:(fun () -> E.Service.Client.close conn)
+    (fun () -> print_response (E.Service.Client.request ?on_progress conn req))
+
+let query_spec_req_t =
+  Arg.(required & opt (some string) None & info [ "spec" ] ~docv:"FILE"
+         ~doc:"Campaign spec JSON file to send.")
+
+let query_cmd =
+  let simple name ~doc req =
+    let action socket port = query_one ~socket ~port req in
+    Cmd.v (Cmd.info name ~doc) Term.(const action $ socket_t $ port_t)
+  in
+  let campaign_q =
+    let progress_t =
+      Arg.(value & flag & info [ "progress" ]
+             ~doc:"Stream and render per-point progress frames while the campaign runs.")
+    in
+    let action socket port spec_file progress =
+      let spec = load_spec spec_file in
+      let on_progress = if progress then Some render_progress else None in
+      query_one ~socket ~port ?on_progress (E.Protocol.Campaign { spec; progress })
+    in
+    Cmd.v
+      (Cmd.info "campaign"
+         ~doc:"Run (or warm-load) a campaign on the service; cold cells are simulated \
+               server-side, warm ones answered from the store.")
+      Term.(const action $ socket_t $ port_t $ query_spec_req_t $ progress_t)
+  in
+  let status_q =
+    let action socket port spec_file =
+      query_one ~socket ~port (E.Protocol.Status { spec = load_spec spec_file })
+    in
+    Cmd.v (Cmd.info "status" ~doc:"Ask the service how much of a campaign its store covers.")
+      Term.(const action $ socket_t $ port_t $ query_spec_req_t)
+  in
+  let platform_q name ~doc mk =
+    let action socket port bandwidth mtbf_years prospective =
+      let platform = platform_of ~prospective ~bandwidth ~mtbf_years in
+      query_one ~socket ~port (mk platform)
+    in
+    Cmd.v (Cmd.info name ~doc)
+      Term.(const action $ socket_t $ port_t $ bandwidth_t $ mtbf_years_t $ prospective_t)
+  in
+  Cmd.group
+    (Cmd.info "query"
+       ~doc:"Client for a running `simctl serve` daemon: campaign, status, bound, \
+             waste, ping, stats, shutdown.")
+    [
+      campaign_q;
+      status_q;
+      platform_q "bound" ~doc:"Theorem 1 lower bound, served." (fun platform ->
+          E.Protocol.Bound { platform });
+      platform_q "waste" ~doc:"Analytic waste model, served." (fun platform ->
+          E.Protocol.Waste { platform });
+      simple "ping" ~doc:"Liveness check." E.Protocol.Ping;
+      simple "stats" ~doc:"Store and admission counters." E.Protocol.Stats;
+      simple "shutdown" ~doc:"Stop the daemon cleanly (drains in-flight campaigns)."
+        E.Protocol.Shutdown;
+    ]
+
 let main =
   Cmd.group
     (Cmd.info "simctl" ~version:"1.0.0"
        ~doc:"Cooperative checkpointing for shared HPC platforms — simulator and experiments.")
     [
-      run_cmd; observe_cmd; campaign_cmd; fig1_cmd; fig2_cmd; fig3_cmd; table1_cmd;
-      bound_cmd; trace_cmd; ablation_cmd; check_cmd; timeline_cmd; report_cmd;
-      bench_diff_cmd;
+      run_cmd; observe_cmd; campaign_cmd; serve_cmd; query_cmd; fig1_cmd; fig2_cmd;
+      fig3_cmd; table1_cmd; bound_cmd; trace_cmd; ablation_cmd; check_cmd; timeline_cmd;
+      report_cmd; bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -36,6 +36,7 @@ let () =
         Printf.printf "%-10s simulated=%d baselines=%d loaded=%d\n%!" label
           o.E.Runner.simulated o.E.Runner.baselines o.E.Runner.loaded
       in
+      let store = E.Store.open_ store in
       let cold = E.Runner.run ~pool ~store spec in
       report "cold:" cold;
       (* Every (cell, strategy, replication) landed as one digest-keyed

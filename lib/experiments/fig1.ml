@@ -16,4 +16,4 @@ let run ~pool ?(bandwidths_gbs = default_bandwidths_gbs) ?(node_mtbf_years = 2.0
       (Printf.sprintf
          "Waste ratio vs system bandwidth (Cielo, node MTBF %gy, %d reps, %gd segment)"
          node_mtbf_years reps days)
-    (Runner.run ~pool ?store:manifest_dir spec)
+    (Runner.run ~pool ?store:(Option.map Store.open_ manifest_dir) spec)

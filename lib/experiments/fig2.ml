@@ -15,4 +15,4 @@ let run ~pool ?(mtbf_years = default_mtbf_years) ?(bandwidth_gbs = 40.0)
     ~title:
       (Printf.sprintf "Waste ratio vs node MTBF (Cielo, %g GB/s, %d reps, %gd segment)"
          bandwidth_gbs reps days)
-    (Runner.run ~pool ?store:manifest_dir spec)
+    (Runner.run ~pool ?store:(Option.map Store.open_ manifest_dir) spec)

@@ -16,7 +16,7 @@ let measure ~pool ~platform ?classes ~strategies ~reps ~seed ?(days = 60.0)
     Spec.make ~name:"montecarlo" ~platform ?classes ~strategies ~reps ~seed ~days
       ?failure_dist ?interference_alpha ?burst_buffer ?multilevel ()
   in
-  let outcome = Runner.run ~pool ?store:manifest_dir spec in
+  let outcome = Runner.run ~pool ?store:(Option.map Store.open_ manifest_dir) spec in
   List.map
     (fun (r : Runner.cell_result) ->
       { strategy = r.Runner.strategy; ratios = r.ratios; stats = r.stats })

@@ -117,28 +117,14 @@ let progress_of_json j =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* Results store                                                        *)
+(* Record construction                                                  *)
 (* ------------------------------------------------------------------ *)
-
-let rec ensure_dir dir =
-  if not (Sys.file_exists dir) then begin
-    ensure_dir (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
-
-let record_path ~store key = Filename.concat store (key ^ ".json")
 
 (* A record is self-describing (campaign name, point coordinates, exact
    seed) but only the ratio is read back; the key in the filename is the
-   lookup. Bad or truncated records read as misses and are re-simulated. *)
-let load_record ~store key =
-  let path = record_path ~store key in
-  if not (Sys.file_exists path) then None
-  else
-    match Manifest.load ~path with
-    | Ok j -> Option.bind (Json.member "waste_ratio" j) Json.to_float_opt
-    | Error _ -> None
-
+   lookup. Every field is a pure function of (spec, cell, strategy, rep),
+   so records are deterministic: racing writers of one key produce
+   byte-identical files (the property {!Store.add} relies on). *)
 let write_record ~store ~spec ~cell ~strategy ~rep ~key ratio =
   let json =
     Json.Obj
@@ -156,24 +142,14 @@ let write_record ~store ~spec ~cell ~strategy ~rep ~key ratio =
         ("waste_ratio", Json.Float ratio);
       ]
   in
-  (* Write-then-rename keeps the store free of partial records when a
-     campaign is interrupted; the key is unique to this writer, so the
-     temp path cannot race another task. *)
-  let path = record_path ~store key in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Json.to_string_pretty json));
-  Sys.rename tmp path
+  Store.add store ~key ~ratio json
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ~pool ?store ?(tracer = Tracing.disabled) ?on_progress spec =
+let run ~pool ?store ?tenant ?(tracer = Tracing.disabled) ?on_progress spec =
   Spec.validate spec;
-  Option.iter ensure_dir store;
   let cells = Array.of_list (Spec.cells spec) in
   let strategies = Array.of_list spec.Spec.strategies in
   let n_s = Array.length strategies in
@@ -223,7 +199,7 @@ let run ~pool ?store ?(tracer = Tracing.disabled) ?on_progress spec =
     let cached =
       match store with
       | None -> Array.make n_s None
-      | Some store -> Array.map (load_record ~store) keys
+      | Some store -> Array.map (Store.find store) keys
     in
     let hits = Array.fold_left (fun n c -> if c = None then n else n + 1) 0 cached in
     if hits > 0 then ignore (Atomic.fetch_and_add loaded hits);
@@ -280,7 +256,7 @@ let run ~pool ?store ?(tracer = Tracing.disabled) ?on_progress spec =
             strategies
         end)
   in
-  let rows = Pool.init_array pool (Array.length cells * reps) task in
+  let rows = Pool.init_array ?tenant pool (Array.length cells * reps) task in
   (match on_progress with
   | None -> ()
   | Some f ->
@@ -325,7 +301,6 @@ let status ?store spec =
   let cached =
     match store with
     | None -> 0
-    | Some store when not (Sys.file_exists store) -> 0
     | Some store ->
         List.fold_left
           (fun acc cell ->
@@ -334,7 +309,7 @@ let status ?store spec =
                 let hits = ref 0 in
                 for rep = 0 to spec.Spec.reps - 1 do
                   let key = Spec.cell_key spec ~cell ~strategy ~rep in
-                  if Sys.file_exists (record_path ~store key) then incr hits
+                  if Store.contains store key then incr hits
                 done;
                 acc + !hits)
               acc spec.Spec.strategies)

@@ -3,14 +3,14 @@
     a results store — persists every completed point incrementally and
     loads cache hits instead of re-simulating.
 
-    The store is a flat directory of one small JSON record per
-    {!Spec.cell_key} digest. Records are written atomically (temp file +
-    rename), so a campaign killed mid-flight leaves only complete records
-    behind and a re-run resumes exactly where it stopped: cooperative
-    checkpointing for the checkpointing experiments. Because keys are
-    derived from the exact per-point configuration, a store is shared
-    across campaigns — growing [reps], extending the axis or adding
-    strategies only simulates the new points.
+    The store ({!Store}) keeps one small JSON record per {!Spec.cell_key}
+    digest, sharded by key prefix. Records are written atomically (temp
+    file + rename), so a campaign killed mid-flight leaves only complete
+    records behind and a re-run resumes exactly where it stopped:
+    cooperative checkpointing for the checkpointing experiments. Because
+    keys are derived from the exact per-point configuration, a store is
+    shared across campaigns — growing [reps], extending the axis or
+    adding strategies only simulates the new points.
 
     Determinism: replication [rep] of any cell always runs at
     [Spec.rep_seed ~seed ~rep], and per-(cell, strategy) ratio arrays are
@@ -69,17 +69,23 @@ val progress_of_json : Cocheck_obs.Json.t -> progress_event option
 
 val run :
   pool:Cocheck_parallel.Pool.t ->
-  ?store:string ->
+  ?store:Store.t ->
+  ?tenant:Cocheck_parallel.Pool.tenant ->
   ?tracer:Cocheck_obs.Tracing.t ->
   ?on_progress:(progress_event -> unit) ->
   Spec.t ->
   outcome
 (** Execute the campaign. Without [store], everything is simulated in
-    memory. With [store] (created if missing), each completed
-    (cell, strategy, replication) immediately persists one record, cached
-    records are loaded instead of re-simulated, and a replication whose
-    strategies are all cached skips its baseline run too — a fully warm
-    store performs {e zero} simulator calls.
+    memory. With [store], each completed (cell, strategy, replication)
+    immediately persists one record, cached records are loaded instead of
+    re-simulated, and a replication whose strategies are all cached skips
+    its baseline run too — a fully warm store performs {e zero} simulator
+    calls.
+
+    [tenant] is the fair-queueing principal the cell tasks are submitted
+    under: the campaign service gives each client connection its own, so
+    concurrent campaigns round-robin the pool instead of queueing behind
+    one another. Without it, tasks share the pool's default tenant.
 
     [tracer] (default {!Cocheck_obs.Tracing.disabled}) records one span
     per (cell, replication) task on the executing worker's track — tagged
@@ -91,7 +97,7 @@ val run :
 
 type progress = { total : int; cached : int; missing : int }
 
-val status : ?store:string -> Spec.t -> progress
+val status : ?store:Store.t -> Spec.t -> progress
 (** How much of the campaign the store already covers, without running
     anything. *)
 

@@ -1,0 +1,65 @@
+(** The campaign service: a long-running daemon over one {!Store} and one
+    {!Cocheck_parallel.Pool}, answering {!Protocol} requests over JSONL
+    ({!Cocheck_obs.Wire}) on a Unix or TCP socket.
+
+    {b Concurrency.} One systhread per client connection (systhreads and
+    the pool's worker domains coexist; the threads only block on sockets
+    and futures). Each connection is its own {!Cocheck_parallel.Pool}
+    tenant, so concurrent campaigns round-robin the simulation domains —
+    a one-cell query lands after at most one task per competing client,
+    never behind a 256-cell sweep.
+
+    {b Admission.} Campaign requests are admitted while the backlog of
+    admitted-but-unfinished points stays within [max_inflight]; beyond
+    it the service replies [Overload] immediately (explicit backpressure)
+    instead of queueing unboundedly. An idle server always admits, so a
+    campaign larger than the whole bound still runs.
+
+    {b Warm queries} are answered entirely from the store — zero
+    [Simulator.run] calls — and report [simulated = 0].
+
+    {b Shutdown.} A [Shutdown] request (or {!stop}, e.g. from a signal
+    handler) stops accepting, wakes idle connections, lets in-flight
+    campaigns finish and reply, then {!run} returns. *)
+
+type t
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket path (removing a stale
+    socket file first). Note the ~107-byte OS limit on socket paths. *)
+
+val listen_tcp : ?host:string -> int -> Unix.file_descr
+(** Bind and listen on a TCP port (default host 127.0.0.1). *)
+
+val create :
+  ?max_inflight:int -> pool:Cocheck_parallel.Pool.t -> store:Store.t -> Unix.file_descr -> t
+(** A service over a listening descriptor (from {!listen_unix} /
+    {!listen_tcp}). [max_inflight] (default 4096) bounds the admitted
+    point backlog. *)
+
+val run : t -> unit
+(** Serve until stopped; owns and closes the listener. Call from the
+    thread that should block (typically main — signal handlers can then
+    {!stop} it). *)
+
+val stop : t -> unit
+(** Request shutdown; {!run} notices within its accept-poll tick (100 ms)
+    and drains. Safe from any thread and from signal handlers. *)
+
+(** A minimal blocking client for {!run}'s protocol — used by
+    [simctl query], the serve benches and the smoke tests. One request in
+    flight per connection. *)
+module Client : sig
+  type conn
+
+  val connect_unix : string -> conn
+  val connect_tcp : ?host:string -> int -> conn
+
+  val request :
+    ?on_progress:(Runner.progress_event -> unit) -> conn -> Protocol.request -> Protocol.response
+  (** Send one request and block for its final reply, feeding streamed
+      progress frames to [on_progress]. Transport failures surface as a
+      {!Protocol.Error} response. *)
+
+  val close : conn -> unit
+end

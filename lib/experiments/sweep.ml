@@ -14,7 +14,7 @@ let waste_vs ~pool ~points ?classes ?(strategies = Strategy.paper_seven) ~reps ~
           Spec.make ~name:(Printf.sprintf "sweep-x%g" x) ~platform ?classes ~strategies
             ~reps ~seed ~days ()
         in
-        (x, Array.of_list (Runner.run ~pool ?store:manifest_dir spec).Runner.results))
+        (x, Array.of_list (Runner.run ~pool ?store:(Option.map Store.open_ manifest_dir) spec).Runner.results))
       points
   in
   (* Index-based pairing: results are in strategy order within each

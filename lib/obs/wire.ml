@@ -1,0 +1,44 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  (* Progress frames stream from pool workers while the reply is written
+     by the connection's own thread; one mutex per connection keeps every
+     frame an intact line. *)
+  wmutex : Mutex.t;
+}
+
+let of_fd fd =
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    wmutex = Mutex.create ();
+  }
+
+let send t json =
+  Mutex.lock t.wmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.wmutex)
+    (fun () ->
+      output_string t.oc (Json.to_string json);
+      output_char t.oc '\n';
+      (* One flush per frame: a client must see progress while the
+         campaign runs, not when the buffer happens to fill. *)
+      flush t.oc)
+
+let recv t =
+  match input_line t.ic with
+  | "" -> Some (Error "empty frame")
+  | line -> Some (Json.of_string line)
+  | exception End_of_file -> None
+
+let shutdown t = try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let close t =
+  (* The two channels share one descriptor, and closing both would close
+     it twice — under threads the second close can land on a reused
+     descriptor number and kill a foreign connection. Flush, then close
+     the descriptor exactly once; the channels are never touched again. *)
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,28 @@
+(** JSONL framing over a socket (or any) file descriptor: one compact
+    JSON value per [\n]-terminated line, the campaign service's wire
+    format. {!Json.to_string} never emits newlines, so frames cannot
+    split; reads use the runtime's buffered channel, so a partial line
+    (writer mid-frame) simply blocks until its newline arrives. *)
+
+type t
+
+val of_fd : Unix.file_descr -> t
+(** Wrap a connected descriptor. The wrapper owns the descriptor:
+    {!close} closes it. *)
+
+val send : t -> Json.t -> unit
+(** Write one frame and flush. Thread-safe per connection — progress
+    frames from worker domains interleave with replies line-atomically. *)
+
+val recv : t -> (Json.t, string) result option
+(** Read one frame. [None] at EOF (peer closed), [Some (Error _)] on a
+    malformed line (the connection stays usable). Not thread-safe: one
+    reader per connection. *)
+
+val shutdown : t -> unit
+(** Shut both directions down without closing the descriptor, waking a
+    thread blocked in {!recv} with EOF (how the server unsticks idle
+    client connections at shutdown). Safe to call from another thread. *)
+
+val close : t -> unit
+(** Flush and close the descriptor. *)

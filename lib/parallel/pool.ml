@@ -11,10 +11,17 @@ let no_telemetry =
     on_idle = (fun ~worker:_ ~idle_s:_ -> ());
   }
 
+(* A tenant is one fair-queueing principal: its tasks keep FIFO order among
+   themselves, while dispatch round-robins across the tenants that have
+   work. [enlisted] tracks ring membership so a tenant is never queued
+   twice; both fields are guarded by the pool mutex. *)
+type tenant = { tq : task Queue.t; mutable enlisted : bool }
+
 type t = {
   mutex : Mutex.t;
   has_work : Condition.t;
-  queue : task Queue.t;
+  default : tenant;  (* tasks submitted without an explicit tenant *)
+  ring : tenant Queue.t;  (* tenants with queued tasks, round-robin order *)
   mutable shutting_down : bool;
   mutable workers : unit Domain.t list;
   telemetry : telemetry;
@@ -41,12 +48,21 @@ let worker_loop pool worker () =
     Mutex.lock pool.mutex;
     let wait_t0 = if observed then Unix.gettimeofday () else 0.0 in
     let rec wait () =
-      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
-      else if pool.shutting_down then None
-      else begin
-        Condition.wait pool.has_work pool.mutex;
-        wait ()
-      end
+      match Queue.take_opt pool.ring with
+      | Some ten ->
+          (* One task per ring turn, then the tenant goes to the back of
+             the ring: a client behind a 256-cell sweep is served after at
+             most one task per competing tenant, not after the sweep. *)
+          let job = Queue.pop ten.tq in
+          if Queue.is_empty ten.tq then ten.enlisted <- false
+          else Queue.push ten pool.ring;
+          Some job
+      | None ->
+          if pool.shutting_down then None
+          else begin
+            Condition.wait pool.has_work pool.mutex;
+            wait ()
+          end
     in
     let job = wait () in
     Mutex.unlock pool.mutex;
@@ -72,7 +88,8 @@ let create ?num_domains ?(telemetry = no_telemetry) () =
     {
       mutex = Mutex.create ();
       has_work = Condition.create ();
-      queue = Queue.create ();
+      default = { tq = Queue.create (); enlisted = false };
+      ring = Queue.create ();
       shutting_down = false;
       workers = [];
       telemetry;
@@ -83,13 +100,16 @@ let create ?num_domains ?(telemetry = no_telemetry) () =
 
 let num_workers t = List.length t.workers
 
+let tenant _t = { tq = Queue.create (); enlisted = false }
+
 let resolve fut result =
   Mutex.lock fut.fmutex;
   fut.state <- result;
   Condition.broadcast fut.fdone;
   Mutex.unlock fut.fmutex
 
-let async t f =
+let async ?tenant:ten t f =
+  let ten = match ten with Some ten -> ten | None -> t.default in
   let fut = { fmutex = Mutex.create (); fdone = Condition.create (); state = Pending } in
   let run () =
     match f () with
@@ -123,7 +143,11 @@ let async t f =
     run ()
   end
   else begin
-    Queue.push run t.queue;
+    Queue.push run ten.tq;
+    if not ten.enlisted then begin
+      ten.enlisted <- true;
+      Queue.push ten t.ring
+    end;
     Condition.signal t.has_work;
     Mutex.unlock t.mutex
   end;
@@ -145,7 +169,7 @@ let await fut =
   in
   wait ()
 
-let init_array t n f =
+let init_array ?tenant t n f =
   if n < 0 then invalid_arg "Pool.init_array: negative length";
   if n = 0 then [||]
   else if t.workers = [] && t.telemetry == no_telemetry then Array.init n f
@@ -153,11 +177,11 @@ let init_array t n f =
     (* One future per element: simulation tasks are coarse enough that
        per-task queue overhead is negligible, and uneven task costs then
        balance naturally. *)
-    let futures = Array.init n (fun i -> async t (fun () -> f i)) in
+    let futures = Array.init n (fun i -> async ?tenant t (fun () -> f i)) in
     Array.map await futures
   end
 
-let map_array t f xs = init_array t (Array.length xs) (fun i -> f xs.(i))
+let map_array ?tenant t f xs = init_array ?tenant t (Array.length xs) (fun i -> f xs.(i))
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -47,20 +47,36 @@ val current_worker : unit -> int
     worker (and for a sequential pool's inline tasks) — the lane id a task
     should tag its own trace spans with. *)
 
+type tenant
+(** A fair-queueing principal. Tasks of one tenant run in FIFO order among
+    themselves; dispatch round-robins one task at a time across the
+    tenants that currently have queued work, so no tenant waits behind
+    another's whole backlog — a client submitting one cell is served after
+    at most one task per competing tenant, not after a 256-cell sweep.
+    Tasks submitted without a tenant share the pool's default tenant,
+    which preserves the pre-tenant global FIFO behaviour. *)
+
+val tenant : t -> tenant
+(** A fresh tenant for [t]. Cheap; one per service client connection.
+    Tenants need no unregistration — an empty tenant holds no pool
+    resources and is garbage once dropped. *)
+
 type 'a future
 
-val async : t -> (unit -> 'a) -> 'a future
-(** Submit a task; returns immediately (sequential pools run it inline). *)
+val async : ?tenant:tenant -> t -> (unit -> 'a) -> 'a future
+(** Submit a task; returns immediately (sequential pools run it inline).
+    [tenant] selects the fair-queueing principal (default: the pool's
+    shared default tenant). *)
 
 val await : 'a future -> 'a
 (** Block until the task finishes. Re-raises the task's exception, if any.
     May be called at most once per future from one caller. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?tenant:tenant -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map], preserving order. Exceptions from tasks are
     re-raised after all tasks complete. *)
 
-val init_array : t -> int -> (int -> 'a) -> 'a array
+val init_array : ?tenant:tenant -> t -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. *)
 
 val shutdown : t -> unit

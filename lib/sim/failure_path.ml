@@ -75,6 +75,7 @@ let kill_inst w inst =
   Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:t ~nodes:inst.spec.Jobgen.nodes;
 
   Node_pool.release w.pool inst.nodes;
+  live_free w.live inst;
   Hashtbl.remove w.insts inst.idx;
 
   let local_best =
@@ -121,20 +122,24 @@ let kill_inst w inst =
 
 let handle_failure w (e : Failure_trace.event) =
   w.failures_seen <- w.failures_seen + 1;
-  let idx = Node_pool.owner_idx w.pool e.node in
-  let victim = if idx < 0 then None else Hashtbl.find_opt w.insts idx in
-  (* Record the victim with the failure itself so traces can correlate a
-     kill with its cause; -1/-1 marks a failure striking an idle node. *)
-  (if tracing w then
-     match victim with
-     | Some inst ->
-         emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node })
-     | None -> emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node }));
-  match victim with
-  | None -> ()
-  | Some inst ->
-      w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
-      kill_inst w inst
+  (* [owner_idx] names the victim's live slot (grants are tagged with it at
+     alloc time), so the lookup is one array read — no hash probe, no
+     option box — on a path that fires once per failure, millions of times
+     in the year-scale runs. *)
+  let slot = Node_pool.owner_idx w.pool e.node in
+  if slot < 0 then begin
+    (* A failure striking an idle node; -1/-1 marks it in traces. *)
+    if tracing w then emit w ~job:(-1) ~inst:(-1) (Trace.Node_failure { node = e.node })
+  end
+  else begin
+    let inst = w.live.lv.(slot) in
+    (* Record the victim with the failure itself so traces can correlate a
+       kill with its cause. *)
+    if tracing w then
+      emit w ~job:inst.spec.Jobgen.id ~inst:inst.idx (Trace.Node_failure { node = e.node });
+    w.failures_hitting_jobs <- w.failures_hitting_jobs + 1;
+    kill_inst w inst
+  end
 
 (* One callback serves the whole failure stream: it consumes the next
    trace event and re-arms itself, so a multi-year trace costs a single

@@ -17,7 +17,7 @@ let rec try_start w =
      side-effect-free scan finds a deeper entry that fits. *)
   match w.queue with
   | entry :: rest when entry.e_spec.Jobgen.nodes <= Node_pool.free_count w.pool -> (
-      match Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes with
+      match Node_pool.alloc w.pool ~job:(live_peek w.live) ~count:entry.e_spec.Jobgen.nodes with
       | None -> assert false
       | Some nodes ->
           w.queue <- rest;
@@ -34,7 +34,7 @@ let rec try_start w =
           | [] -> List.rev acc
           | entry :: rest -> (
               match
-                Node_pool.alloc w.pool ~job:w.next_inst ~count:entry.e_spec.Jobgen.nodes
+                Node_pool.alloc w.pool ~job:(live_peek w.live) ~count:entry.e_spec.Jobgen.nodes
               with
               | None -> go (entry :: acc) rest
               | Some nodes ->
@@ -123,6 +123,7 @@ and start_instance w entry nodes =
           cb_ckpt_request = ignore;
           cb_local_tick = Array.make nsnap ignore;
           cb_local_done = ignore;
+          live_slot = -1;
         }
       in
       (* The recycled callbacks: one closure each per record, re-armed by
@@ -140,6 +141,9 @@ and start_instance w entry nodes =
 
   w.next_inst <- w.next_inst + 1;
   w.jobs_started <- w.jobs_started + 1;
+  (* Claims the slot the [Node_pool.alloc] grant above was tagged with:
+     nothing allocates or frees between the peek and this commit. *)
+  live_commit w.live inst;
   Hashtbl.replace w.insts inst.idx inst;
   if tracing w then
     emit_inst w inst
@@ -278,6 +282,7 @@ and finish_job w inst =
   Metrics.record_enrolled w.metrics ~t0:inst.start_time ~t1:(now w)
     ~nodes:inst.spec.Jobgen.nodes;
   Node_pool.release w.pool inst.nodes;
+  live_free w.live inst;
   Hashtbl.remove w.insts inst.idx;
   w.jobs_completed <- w.jobs_completed + 1;
   (* Every event handle is disarmed and the final flow completed: the

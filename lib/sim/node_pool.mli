@@ -19,7 +19,9 @@ val used_count : t -> int
 
 val alloc : t -> job:int -> count:int -> allocation option
 (** Allocate [count] nodes to [job]; [None] when not enough are free.
-    Requires [count > 0]. *)
+    Requires [count > 0]. [job] is an opaque owner tag echoed back by
+    {!owner}/{!owner_idx} — the simulator passes its live-slot index so a
+    failure maps to its victim with one array read. *)
 
 val release : t -> allocation -> unit
 (** Free a previous grant. Raises [Invalid_argument] on double release. *)

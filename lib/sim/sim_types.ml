@@ -91,6 +91,7 @@ type inst = {
   mutable cb_ckpt_request : Engine.t -> unit;
   cb_local_tick : (Engine.t -> unit) array;
   mutable cb_local_done : Engine.t -> unit;
+  mutable live_slot : int;  (* slot in [w.live] while holding nodes; -1 otherwise *)
 }
 
 type rkind = Req_ckpt | Req_io of Io.io_kind
@@ -141,6 +142,64 @@ let req_free_create () = { rf = [||]; rf_n = 0 }
 type inst_free = { mutable inf : inst array; mutable inf_n : int }
 
 let inst_free_create () = { inf = [||]; inf_n = 0 }
+
+(* Stable slots for the instances currently holding nodes. Every
+   {!Node_pool} grant carries its owner's slot id as the grant's [job], so
+   the per-failure victim lookup ({!Failure_path.handle_failure}) is a
+   direct array read instead of a [Hashtbl.find_opt] — failures fire
+   millions of times in the year-scale runs, and the hash probe plus its
+   [Some] box showed in the minor-words budget. A slot is freed exactly
+   when its instance releases its nodes, so [Node_pool.owner_idx] can only
+   ever name a live slot; a freed slot keeps its last (stale, never read)
+   pointer so the registry allocates nothing in steady state, like the
+   recycling stacks above. *)
+type live_slots = {
+  mutable lv : inst array;  (* slot -> occupying instance (stale once freed) *)
+  mutable lv_free : int array;  (* retired slot ids awaiting reuse *)
+  mutable lv_free_n : int;
+  mutable lv_next : int;  (* high-water mark: slots ever handed out *)
+}
+
+let live_slots_create () = { lv = [||]; lv_free = [||]; lv_free_n = 0; lv_next = 0 }
+
+(* The slot id the next [live_commit] will assign. Peek and commit are
+   split because the id must be known at [Node_pool.alloc] time, yet the
+   allocation can still fail (the backfill scan) — a failed alloc must not
+   consume the slot. No allocate-or-free runs between the two. *)
+let[@inline] live_peek p = if p.lv_free_n > 0 then p.lv_free.(p.lv_free_n - 1) else p.lv_next
+
+let live_commit p (i : inst) =
+  let slot =
+    if p.lv_free_n > 0 then begin
+      p.lv_free_n <- p.lv_free_n - 1;
+      p.lv_free.(p.lv_free_n)
+    end
+    else begin
+      let s = p.lv_next in
+      p.lv_next <- s + 1;
+      s
+    end
+  in
+  let cap = Array.length p.lv in
+  if slot >= cap then begin
+    let bigger = Array.make (max 16 (2 * (slot + 1))) i in
+    Array.blit p.lv 0 bigger 0 cap;
+    p.lv <- bigger
+  end;
+  p.lv.(slot) <- i;
+  i.live_slot <- slot
+
+let live_free p (i : inst) =
+  let cap = Array.length p.lv_free in
+  if cap = 0 then p.lv_free <- Array.make 16 0
+  else if p.lv_free_n = cap then begin
+    let bigger = Array.make (2 * cap) 0 in
+    Array.blit p.lv_free 0 bigger 0 cap;
+    p.lv_free <- bigger
+  end;
+  p.lv_free.(p.lv_free_n) <- i.live_slot;
+  p.lv_free_n <- p.lv_free_n + 1;
+  i.live_slot <- -1
 
 let release_inst p (i : inst) =
   let cap = Array.length p.inf in
@@ -226,6 +285,7 @@ type w = {
   inst_free : inst_free;  (* retired instance records *)
   mutable queue : entry list;  (* priority order: restarts first *)
   insts : (int, inst) Hashtbl.t;
+  live : live_slots;  (* node-holding instances by grant slot, for failure lookup *)
   bb : Burst_buffer.t option;
   hier : Ckpt_hierarchy.t option;  (* buffer levels of [cfg.multilevel] *)
   snap : Config.snapshot_level array;  (* snapshot levels, shallow → deep *)

@@ -248,6 +248,7 @@ let run ?specs ?trace ?hooks ?sample ?on_engine (cfg : Config.t) =
           ~free:req_free ();
       req_free;
       inst_free = inst_free_create ();
+      live = live_slots_create ();
       queue =
         Array.to_list
           (Array.map

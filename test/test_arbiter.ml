@@ -61,6 +61,7 @@ let mk_inst ~idx ~nodes ~last_commit_end =
     cb_ckpt_request = ignore;
     cb_local_tick = [||];
     cb_local_done = ignore;
+    live_slot = -1;
   }
 
 let next_id = ref 0

@@ -67,6 +67,7 @@ let mk_inst ~pool ~idx ~nodes ~last_commit_end ~ckpt_gb ~bandwidth_gbs =
     cb_ckpt_request = ignore;
     cb_local_tick = [||];
     cb_local_done = ignore;
+    live_slot = -1;
   }
 
 (* ------------------------------------------------------------------ *)

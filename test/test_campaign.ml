@@ -409,15 +409,15 @@ let check_same_ratios msg a b =
 
 let test_cold_then_warm () =
   Pool.with_pool ~num_domains:0 (fun pool ->
-      with_temp_store (fun store ->
+      with_temp_store (fun dir ->
           let spec = cache_spec () in
           let in_memory = E.Runner.run ~pool spec in
+          let store = E.Store.open_ dir in
           let cold = E.Runner.run ~pool ~store spec in
           Alcotest.(check int) "cold simulates everything" 8 cold.E.Runner.simulated;
           Alcotest.(check int) "cold loads nothing" 0 cold.E.Runner.loaded;
           Alcotest.(check int) "one baseline per (cell, rep)" 4 cold.E.Runner.baselines;
-          Alcotest.(check int) "8 records on disk" 8
-            (Array.length (Sys.readdir store));
+          Alcotest.(check int) "8 records on disk" 8 (E.Store.record_count store);
           let warm = E.Runner.run ~pool ~store spec in
           Alcotest.(check int) "warm simulates nothing" 0 warm.E.Runner.simulated;
           Alcotest.(check int) "warm runs no baselines" 0 warm.E.Runner.baselines;
@@ -431,12 +431,17 @@ let test_cold_then_warm () =
 
 let test_interrupted_resume () =
   Pool.with_pool ~num_domains:0 (fun pool ->
-      with_temp_store (fun store ->
+      with_temp_store (fun dir ->
           let spec = cache_spec () in
-          let cold = E.Runner.run ~pool ~store spec in
+          let cold = E.Runner.run ~pool ~store:(E.Store.open_ dir) spec in
           (* Deleting one record is equivalent to a campaign killed before
-             writing it; rename-based writes mean no other partial state. *)
-          Sys.remove (Filename.concat store (Sys.readdir store).(0));
+             writing it; rename-based writes mean no other partial state.
+             The fresh open below models the separate process that resumes
+             the campaign — the killed run's in-memory index died with it. *)
+          let store = E.Store.open_ dir in
+          let victim = ref "" in
+          E.Store.iter_keys store (fun k -> victim := k);
+          Sys.remove (E.Store.path_of_key store !victim);
           let p = E.Runner.status ~store spec in
           Alcotest.(check int) "one missing" 1 p.E.Runner.missing;
           Alcotest.(check int) "seven cached" 7 p.E.Runner.cached;
@@ -451,11 +456,12 @@ let test_interrupted_resume () =
 
 let test_status_counts () =
   Pool.with_pool ~num_domains:0 (fun pool ->
-      with_temp_store (fun store ->
+      with_temp_store (fun dir ->
           let spec = cache_spec () in
           let p = E.Runner.status spec in
           Alcotest.(check int) "no store: total" 8 p.E.Runner.total;
           Alcotest.(check int) "no store: all missing" 8 p.E.Runner.missing;
+          let store = E.Store.open_ dir in
           let p = E.Runner.status ~store spec in
           Alcotest.(check int) "empty store: all missing" 8 p.E.Runner.missing;
           ignore (E.Runner.run ~pool ~store spec);
@@ -465,13 +471,19 @@ let test_status_counts () =
 
 let test_corrupt_record_is_a_miss () =
   Pool.with_pool ~num_domains:0 (fun pool ->
-      with_temp_store (fun store ->
+      with_temp_store (fun dir ->
           let spec = cache_spec () in
+          let store = E.Store.open_ dir in
           let cold = E.Runner.run ~pool ~store spec in
-          let victim = Filename.concat store (Sys.readdir store).(0) in
-          let oc = open_out victim in
+          let victim = ref "" in
+          E.Store.iter_keys store (fun k -> victim := k);
+          let oc = open_out (E.Store.path_of_key store !victim) in
           output_string oc "{ truncated";
           close_out oc;
+          (* A fresh open models the process that re-runs the campaign:
+             its index is cold, so the corrupt record must demote to a
+             miss and re-simulate. *)
+          let store = E.Store.open_ dir in
           let rerun = E.Runner.run ~pool ~store spec in
           Alcotest.(check int) "corrupt record re-simulated" 1 rerun.E.Runner.simulated;
           check_same_ratios "repaired run identical" cold rerun))
@@ -486,8 +498,9 @@ let collect_progress () =
 
 let test_progress_stream () =
   Pool.with_pool ~num_domains:0 (fun pool ->
-      with_temp_store (fun store ->
+      with_temp_store (fun dir ->
           let spec = cache_spec () in
+          let store = E.Store.open_ dir in
           let on_progress, events = collect_progress () in
           let o = E.Runner.run ~pool ~store ~on_progress spec in
           let evs = events () in
